@@ -1,0 +1,36 @@
+.PHONY: all build test bench table1 table2 ablations micro examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+table1:
+	dune exec bench/main.exe table1
+
+table2:
+	dune exec bench/main.exe table2
+
+ablations:
+	dune exec bench/main.exe ablations
+
+micro:
+	dune exec bench/main.exe micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/prefetch_study.exe
+	dune exec examples/sched_study.exe
+	dune exec examples/lean_monitoring.exe
+	dune exec examples/adaptive_shift.exe
+	dune exec examples/cascade.exe
+	dune exec examples/cross_app.exe
+
+clean:
+	dune clean
