@@ -1,0 +1,183 @@
+(* Benchmark harness.
+
+   Usage:
+     bench/main.exe             -- everything: tables, ablations, microbenches
+     bench/main.exe table1      -- Table 1 only
+     bench/main.exe table2      -- Table 2 only
+     bench/main.exe ablations   -- ablations A-F
+     bench/main.exe overhead    -- Figure 1 family (wall-clock VM overhead)
+     bench/main.exe micro       -- Bechamel microbenchmarks
+
+   The Bechamel suite carries one Test.make group per paper table (the
+   per-invocation datapath cost behind that table's system) plus the
+   Figure 1 interpreter-vs-JIT comparison. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmark fixtures                                              *)
+(* ------------------------------------------------------------------ *)
+
+let prefetch_fixture engine =
+  let params = Rkd.Prefetch_rmt.default_params in
+  let collect = Rkd.Prefetch_rmt.build_collect_program params in
+  let predict = Rkd.Prefetch_rmt.build_predict_program params in
+  let control = Rmt.Control.create ~engine () in
+  let rng = Kml.Rng.create 7 in
+  let nf = params.Rkd.Prefetch_rmt.history + 3 in
+  let ds = Kml.Dataset.create ~n_features:nf ~n_classes:params.Rkd.Prefetch_rmt.n_delta_classes in
+  for _ = 1 to 512 do
+    Kml.Dataset.add ds
+      { Kml.Dataset.features = Array.init nf (fun _ -> Kml.Rng.int rng 128);
+        label = Kml.Rng.int rng 8 }
+  done;
+  let tree = Kml.Decision_tree.train ds in
+  let (_ : Rmt.Model_store.handle) =
+    Rmt.Control.register_model control ~name:"m" (Rmt.Model_store.Tree tree)
+  in
+  let collect_vm = Result.get_ok (Rmt.Control.install control collect) in
+  let predict_vm = Result.get_ok (Rmt.Control.install control ~model_names:[ "m" ] predict) in
+  let ctxt = Rmt.Ctxt.create () in
+  Rmt.Ctxt.set ctxt Rkd.Hooks.key_page 1234;
+  Rmt.Ctxt.set ctxt Rkd.Hooks.key_last_page 1230;
+  for i = 0 to nf - 1 do
+    Rmt.Ctxt.set ctxt (Rkd.Hooks.key_feature_base + i) (i + 1)
+  done;
+  (collect_vm, predict_vm, ctxt, tree)
+
+let sched_fixture () =
+  (* A trained quantized MLP over the 15 LB features, as in case study 2. *)
+  let rng = Kml.Rng.create 3 in
+  let ds = Kml.Dataset.create ~n_features:15 ~n_classes:2 in
+  for _ = 1 to 1024 do
+    let features = Array.init 15 (fun _ -> Kml.Rng.int rng 4096) in
+    let label = if features.(4) > 2048 then 1 else 0 in
+    Kml.Dataset.add ds { Kml.Dataset.features; label }
+  done;
+  let mlp = Kml.Mlp.train ~params:{ Kml.Mlp.default_params with epochs = 10 } ~rng ds in
+  let q = Kml.Quantize.Qmlp.of_mlp mlp in
+  let sched = Rkd.Sched_rmt.create ~model:(Rmt.Model_store.Qmlp q) () in
+  (Rkd.Sched_rmt.decider sched, q, mlp)
+
+let micro_tests () =
+  let collect_i, predict_i, ctxt_i, _ = prefetch_fixture Rmt.Vm.Interpreted in
+  let collect_j, predict_j, ctxt_j, tree = prefetch_fixture Rmt.Vm.Jit_compiled in
+  let decider, qmlp, mlp = sched_fixture () in
+  let now () = 0 in
+  let features15 = Array.init 15 (fun i -> i * 17) in
+  let tree_features =
+    Array.init (Rkd.Prefetch_rmt.default_params.Rkd.Prefetch_rmt.history + 3) (fun i -> i)
+  in
+  let table =
+    let t = Rmt.Table.create ~name:"bench" ~match_keys:[| 0 |] ~default:(Rmt.Table.Const 0) in
+    for pid = 0 to 63 do
+      ignore (Rmt.Table.insert t ~patterns:[| Rmt.Table.Eq pid |] (Rmt.Table.Const pid))
+    done;
+    t
+  in
+  let table_ctxt = Rmt.Ctxt.of_list [ (0, 40) ] in
+  [ (* Figure 1 family: the VM itself, interpreted vs JIT. *)
+    Test.make ~name:"fig1/collect/interp"
+      (Staged.stage (fun () -> Rmt.Vm.invoke collect_i ~ctxt:ctxt_i ~now));
+    Test.make ~name:"fig1/collect/jit"
+      (Staged.stage (fun () -> Rmt.Vm.invoke collect_j ~ctxt:ctxt_j ~now));
+    Test.make ~name:"fig1/predict/interp"
+      (Staged.stage (fun () -> Rmt.Vm.invoke predict_i ~ctxt:ctxt_i ~now));
+    Test.make ~name:"fig1/predict/jit"
+      (Staged.stage (fun () -> Rmt.Vm.invoke predict_j ~ctxt:ctxt_j ~now));
+    (* Table 1 datapath pieces: tree inference and table match. *)
+    Test.make ~name:"table1/tree-predict"
+      (Staged.stage (fun () -> Kml.Decision_tree.predict tree tree_features));
+    Test.make ~name:"table1/table-match"
+      (Staged.stage (fun () -> Rmt.Table.lookup table ~ctxt:table_ctxt ~now));
+    (* Table 2 datapath pieces: quantized vs float MLP and the full RMT
+       migration decision. *)
+    Test.make ~name:"table2/qmlp-predict"
+      (Staged.stage (fun () -> Kml.Quantize.Qmlp.predict qmlp features15));
+    Test.make ~name:"table2/float-mlp-predict"
+      (Staged.stage (fun () -> Kml.Mlp.predict mlp features15));
+    Test.make ~name:"table2/migration-decision"
+      (Staged.stage (fun () -> decider ~features:features15 ~heuristic:false)) ]
+
+let run_micro () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  Format.printf "@.Microbenchmarks (Bechamel, monotonic clock)@.";
+  Format.printf "  %-32s %14s@." "benchmark" "ns/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+      let estimates = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "  %-32s %14.1f@." name est
+          | Some _ | None -> Format.printf "  %-32s %14s@." name "n/a")
+        estimates)
+    (micro_tests ())
+
+(* ------------------------------------------------------------------ *)
+(* Table / ablation harness                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1 () = Rkd.Report.print_table1 Format.std_formatter (Rkd.Experiment.table1 ())
+let run_table2 () = Rkd.Report.print_table2 Format.std_formatter (Rkd.Experiment.table2 ())
+
+let run_overhead () =
+  Rkd.Report.print_overhead Format.std_formatter (Rkd.Experiment.vm_overhead ())
+
+let run_ablations () =
+  Rkd.Report.print_lean Format.std_formatter (Rkd.Experiment.ablation_lean_monitoring ());
+  Format.printf "@.";
+  Rkd.Report.print_window Format.std_formatter (Rkd.Experiment.ablation_window ());
+  Format.printf "@.";
+  Rkd.Report.print_quant Format.std_formatter (Rkd.Experiment.ablation_quantization ());
+  Format.printf "@.";
+  Rkd.Report.print_adapt Format.std_formatter (Rkd.Experiment.ablation_adaptivity ());
+  Format.printf "@.";
+  Rkd.Report.print_distill Format.std_formatter (Rkd.Experiment.ablation_distillation ());
+  Format.printf "@.";
+  Rkd.Report.print_privacy Format.std_formatter (Rkd.Experiment.ablation_privacy ());
+  Format.printf "@.";
+  Rkd.Report.print_family Format.std_formatter (Rkd.Experiment.ablation_model_family ());
+  Format.printf "@.";
+  Rkd.Report.print_nas Format.std_formatter (Rkd.Experiment.ablation_nas ());
+  Format.printf "@.";
+  Rkd.Report.print_granularity Format.std_formatter (Rkd.Experiment.ablation_granularity ());
+  Format.printf "@.";
+  Rkd.Report.print_cross Format.std_formatter (Rkd.Experiment.ablation_cross_app ());
+  Format.printf "@.";
+  Rkd.Report.print_online Format.std_formatter (Rkd.Experiment.ablation_online_training ())
+
+let run_shapes () =
+  let t1 = Rkd.Experiment.table1 () in
+  let t2 = Rkd.Experiment.table2 () in
+  Rkd.Report.print_table1 Format.std_formatter t1;
+  Format.printf "@.";
+  Rkd.Report.print_table2 Format.std_formatter t2;
+  Format.printf "@.Shape checks (DESIGN.md section 4):@.";
+  List.iter
+    (fun (name, ok) -> Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") name)
+    (Rkd.Report.shape_checks t1 t2)
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "micro" -> run_micro ()
+  | "table1" -> run_table1 ()
+  | "table2" -> run_table2 ()
+  | "ablations" -> run_ablations ()
+  | "overhead" -> run_overhead ()
+  | "all" ->
+    run_shapes ();
+    Format.printf "@.";
+    run_overhead ();
+    Format.printf "@.";
+    run_ablations ();
+    Format.printf "@.";
+    run_micro ()
+  | other ->
+    Format.eprintf "unknown mode %s (expected micro|table1|table2|ablations|overhead|all)@."
+      other;
+    exit 1

@@ -1,0 +1,181 @@
+(* rkdctl — control-plane CLI for the reconfigurable-kernel-datapaths
+   reproduction.
+
+   Subcommands:
+     verify <file.rmt>    verify an RMT assembly program and print the report
+     disasm <file.rmt>    parse and pretty-print (round-trip) a program
+     run <file.rmt>       verify, install and run a program once
+     table1 | table2      regenerate the paper's tables
+     ablations            run the ablation suite
+     overhead             Figure 1 family: interpreter vs JIT cost
+     shapes               tables + the qualitative shape checks *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let program_arg =
+  let doc = "RMT assembly file (see lib/rmt/asm.mli for the syntax)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let ctxt_arg =
+  let doc = "Initial execution-context binding KEY=VALUE (repeatable)." in
+  Arg.(value & opt_all (pair ~sep:'=' int int) [] & info [ "c"; "ctxt" ] ~docv:"K=V" ~doc)
+
+let engine_conv = Arg.enum [ ("interp", Rmt.Vm.Interpreted); ("jit", Rmt.Vm.Jit_compiled) ]
+
+let engine_arg =
+  let doc = "Execution engine: 'interp' or 'jit'." in
+  Arg.(value & opt engine_conv Rmt.Vm.Jit_compiled & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let parse_program path =
+  (* Accept both the assembly text format and the RMTB wire format. *)
+  let contents = read_file path in
+  if String.length contents >= 4 && String.sub contents 0 4 = Rmt.Encoding.magic then
+    match Rmt.Encoding.decode (Bytes.of_string contents) with
+    | Ok program -> Ok program
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  else begin
+    match Rmt.Asm.parse contents with
+    | Ok program -> Ok program
+    | Error e -> Error (Format.asprintf "%s: %a" path Rmt.Asm.pp_error e)
+  end
+
+let verify_cmd =
+  let run path =
+    match parse_program path with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok program ->
+      let helpers = Rmt.Helper.with_defaults () in
+      (match Rmt.Verifier.check_structure_only ~helpers program with
+       | Ok report ->
+         Format.printf "%s: OK@." program.Rmt.Program.name;
+         Format.printf "  worst-case dynamic instructions: %d@."
+           report.Rmt.Verifier.worst_case_steps;
+         Format.printf "  uses privacy-charged helpers: %b@." report.Rmt.Verifier.uses_privacy;
+         Format.printf "  helpers used: [%s]@."
+           (String.concat "; " (List.map string_of_int report.Rmt.Verifier.helper_ids_used));
+         0
+       | Error v ->
+         Format.printf "%s: REJECTED: %a@." program.Rmt.Program.name Rmt.Verifier.pp_violation
+           v;
+         1)
+  in
+  let doc = "verify an RMT assembly program" in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ program_arg)
+
+let disasm_cmd =
+  let run path =
+    match parse_program path with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok program ->
+      print_string (Rmt.Asm.print program);
+      0
+  in
+  let doc = "parse and pretty-print an RMT assembly program" in
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ program_arg)
+
+let run_cmd =
+  let run path bindings engine =
+    match parse_program path with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok program ->
+      let control = Rmt.Control.create ~engine () in
+      (match Rmt.Control.install control program with
+       | Error e ->
+         prerr_endline e;
+         1
+       | Ok vm ->
+         let ctxt = Rmt.Ctxt.of_list bindings in
+         let outcome = Rmt.Vm.invoke vm ~ctxt ~now:(fun () -> 0) in
+         Format.printf "result = %d (steps = %d, privacy denials = %d)@."
+           outcome.Rmt.Interp.result outcome.Rmt.Interp.steps
+           outcome.Rmt.Interp.privacy_denied;
+         Format.printf "context after run: %a@." Rmt.Ctxt.pp ctxt;
+         0)
+  in
+  let doc = "verify, install and run a program once" in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ program_arg $ ctxt_arg $ engine_arg)
+
+let assemble_cmd =
+  let run path out =
+    match parse_program path with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok program ->
+      let encoded = Rmt.Encoding.encode program in
+      let oc = open_out_bin out in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_bytes oc encoded);
+      Format.printf "wrote %s (%d bytes, %d instructions)@." out (Bytes.length encoded)
+        (Array.length program.Rmt.Program.code);
+      0
+  in
+  let out_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output .rmtb file.")
+  in
+  let doc = "assemble a program into the machine-independent RMTB wire format" in
+  Cmd.v (Cmd.info "assemble" ~doc) Term.(const run $ program_arg $ out_arg)
+
+let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> f (); 0) $ const ())
+
+let table1_cmd =
+  simple "table1" "regenerate Table 1 (page prefetching)" (fun () ->
+      Rkd.Report.print_table1 Format.std_formatter (Rkd.Experiment.table1 ()))
+
+let table2_cmd =
+  simple "table2" "regenerate Table 2 (scheduler mimicry)" (fun () ->
+      Rkd.Report.print_table2 Format.std_formatter (Rkd.Experiment.table2 ()))
+
+let ablations_cmd =
+  simple "ablations" "run ablations A-F" (fun () ->
+      Rkd.Report.print_lean Format.std_formatter (Rkd.Experiment.ablation_lean_monitoring ());
+      Rkd.Report.print_window Format.std_formatter (Rkd.Experiment.ablation_window ());
+      Rkd.Report.print_quant Format.std_formatter (Rkd.Experiment.ablation_quantization ());
+      Rkd.Report.print_adapt Format.std_formatter (Rkd.Experiment.ablation_adaptivity ());
+      Rkd.Report.print_distill Format.std_formatter (Rkd.Experiment.ablation_distillation ());
+      Rkd.Report.print_privacy Format.std_formatter (Rkd.Experiment.ablation_privacy ());
+      Rkd.Report.print_family Format.std_formatter (Rkd.Experiment.ablation_model_family ());
+      Rkd.Report.print_nas Format.std_formatter (Rkd.Experiment.ablation_nas ());
+      Rkd.Report.print_granularity Format.std_formatter
+        (Rkd.Experiment.ablation_granularity ());
+      Rkd.Report.print_cross Format.std_formatter (Rkd.Experiment.ablation_cross_app ());
+      Rkd.Report.print_online Format.std_formatter
+        (Rkd.Experiment.ablation_online_training ()))
+
+let overhead_cmd =
+  simple "overhead" "Figure 1 family: interpreter vs JIT per-invocation cost" (fun () ->
+      Rkd.Report.print_overhead Format.std_formatter (Rkd.Experiment.vm_overhead ()))
+
+let shapes_cmd =
+  simple "shapes" "regenerate both tables and evaluate the shape checks" (fun () ->
+      let t1 = Rkd.Experiment.table1 () in
+      let t2 = Rkd.Experiment.table2 () in
+      Rkd.Report.print_table1 Format.std_formatter t1;
+      Rkd.Report.print_table2 Format.std_formatter t2;
+      List.iter
+        (fun (name, ok) -> Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") name)
+        (Rkd.Report.shape_checks t1 t2))
+
+let main =
+  let doc =
+    "reconfigurable kernel datapaths with learned optimizations (HotOS '21 reproduction)"
+  in
+  Cmd.group
+    (Cmd.info "rkdctl" ~version:"1.0.0" ~doc)
+    [ verify_cmd; disasm_cmd; run_cmd; assemble_cmd; table1_cmd; table2_cmd; ablations_cmd;
+      overhead_cmd; shapes_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/adaptive_shift.ml: Format Ksim List Rkd

@@ -1,0 +1,1 @@
+examples/cascade.ml: Array Builder Format Insn Kml Option Program Result Rmt

@@ -1,0 +1,1 @@
+examples/cross_app.ml: Format Kml Ksim List Rkd

@@ -1,0 +1,1 @@
+examples/lean_monitoring.mli:

@@ -1,0 +1,1 @@
+examples/prefetch_study.ml: Format Kml Ksim List Rkd Stdlib

@@ -1,0 +1,1 @@
+examples/sched_study.ml: Array Format Kml Ksim List Rkd Rmt String Sys

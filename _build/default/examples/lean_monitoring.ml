@@ -1,0 +1,24 @@
+(* Lean monitoring (paper §2.1, benefit #1): use feature-importance ranking
+   to forego monitors that contribute little information.
+
+   Sweeps the number of load-balancing features from 15 down to 1 and
+   reports mimic accuracy together with the number of monitor words the
+   RMT program actually reads per decision — the quantity the kernel
+   stops paying for.
+
+   Run with: dune exec examples/lean_monitoring.exe *)
+
+let () =
+  Format.printf "collecting migration decisions from a streamcluster run...@.";
+  let rows = Rkd.Experiment.ablation_lean_monitoring () in
+  Format.printf "@.%-10s %-12s %-22s@." "features" "accuracy" "ctxt reads/decision";
+  List.iter
+    (fun (r : Rkd.Experiment.lean_row) ->
+      Format.printf "%-10d %9.2f%%  %18.1f@." r.n_features r.accuracy_pct
+        r.reads_per_decision)
+    rows;
+  Format.printf
+    "@.Two features retain most of the accuracy at ~13%% of the monitoring cost —@.";
+  Format.printf
+    "the paper's case study 2 finding (\"with this leaner monitoring, our prototype@.";
+  Format.printf "still achieves 94+%% accuracy\").@."

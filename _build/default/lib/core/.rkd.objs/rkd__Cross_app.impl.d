@@ -1,0 +1,1 @@
+lib/core/cross_app.ml: Array Hashtbl Ksim List Option Rmt

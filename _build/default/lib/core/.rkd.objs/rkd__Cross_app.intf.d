@@ -1,0 +1,1 @@
+lib/core/cross_app.mli: Ksim

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Builder Cross_app Hooks Insn Kml Ksim List Prefetch_rmt Printf Program Rmt Sched_rmt String Sys

@@ -1,0 +1,1 @@
+lib/core/prefetch_rmt.ml: Array Builder Hashtbl Hooks Insn Kml Ksim List Program Rmt

@@ -1,0 +1,1 @@
+lib/core/prefetch_rmt.mli: Kml Ksim Rmt

@@ -1,0 +1,1 @@
+lib/core/report.ml: Experiment Float Format Ksim List String

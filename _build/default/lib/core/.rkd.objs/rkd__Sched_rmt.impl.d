@@ -1,0 +1,1 @@
+lib/core/sched_rmt.ml: Array Builder Fun Hooks Insn Kml Ksim Program Rmt Stdlib

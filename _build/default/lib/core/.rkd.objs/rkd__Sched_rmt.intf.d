@@ -1,0 +1,1 @@
+lib/core/sched_rmt.mli: Ksim Rmt

@@ -1,0 +1,61 @@
+type mode = Normal | Conservative
+
+type t = {
+  low : float;
+  high : float;
+  window : int;
+  on_degrade : unit -> unit;
+  on_recover : unit -> unit;
+  mutable mode : mode;
+  mutable seen : int;
+  mutable correct : int;
+  mutable last_rate : float;
+  mutable transitions : int;
+  mutable observations : int;
+}
+
+let create ?(low = 0.3) ?(high = 0.6) ?(window = 256) ?(on_degrade = ignore)
+    ?(on_recover = ignore) () =
+  if not (0.0 <= low && low <= high && high <= 1.0) then
+    invalid_arg "Adapt.create: need 0 <= low <= high <= 1";
+  if window <= 0 then invalid_arg "Adapt.create: window must be positive";
+  { low;
+    high;
+    window;
+    on_degrade;
+    on_recover;
+    mode = Normal;
+    seen = 0;
+    correct = 0;
+    last_rate = 1.0;
+    transitions = 0;
+    observations = 0 }
+
+let observe t ~correct =
+  t.observations <- t.observations + 1;
+  t.seen <- t.seen + 1;
+  if correct then t.correct <- t.correct + 1;
+  if t.seen >= t.window then begin
+    let rate = float_of_int t.correct /. float_of_int t.seen in
+    t.last_rate <- rate;
+    t.seen <- 0;
+    t.correct <- 0;
+    match t.mode with
+    | Normal when rate < t.low ->
+      t.mode <- Conservative;
+      t.transitions <- t.transitions + 1;
+      t.on_degrade ()
+    | Conservative when rate > t.high ->
+      t.mode <- Normal;
+      t.transitions <- t.transitions + 1;
+      t.on_recover ()
+    | Normal | Conservative -> ()
+  end
+
+let mode t = t.mode
+
+let rate t =
+  if t.seen = 0 then t.last_rate else float_of_int t.correct /. float_of_int t.seen
+
+let transitions t = t.transitions
+let observations t = t.observations

@@ -1,0 +1,36 @@
+(** Accuracy-triggered reconfiguration (§3.1 "Updating RMT entries"):
+    "if the prefetching accuracy falls below a threshold, the control plane
+    will recompute ML decisions to be more conservative […] and reconfigure
+    the RMT tables to reflect the workload changes."
+
+    A windowed accuracy monitor with hysteresis: when the rolling accuracy
+    drops below [low] the monitor enters [Conservative] mode and fires
+    [on_degrade]; when it recovers above [high] it returns to [Normal] and
+    fires [on_recover].  {!Prefetch_rmt} embeds one instance to scale its
+    prefetch depth; the ablation-D experiment uses another to trigger
+    retraining across a workload shift. *)
+
+type mode = Normal | Conservative
+
+type t
+
+val create :
+  ?low:float ->
+  ?high:float ->
+  ?window:int ->
+  ?on_degrade:(unit -> unit) ->
+  ?on_recover:(unit -> unit) ->
+  unit ->
+  t
+(** Defaults: [low] = 0.3, [high] = 0.6, [window] = 256 observations.
+    Raises [Invalid_argument] unless [0 <= low <= high <= 1]. *)
+
+val observe : t -> correct:bool -> unit
+val mode : t -> mode
+val rate : t -> float
+(** Accuracy over the current (possibly partial) window. *)
+
+val transitions : t -> int
+(** Number of mode changes so far. *)
+
+val observations : t -> int

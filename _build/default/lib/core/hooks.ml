@@ -1,0 +1,8 @@
+let lookup_swap_cache = "lookup_swap_cache"
+let swap_cluster_readahead = "swap_cluster_readahead"
+let can_migrate_task = "can_migrate_task"
+let all = [ lookup_swap_cache; swap_cluster_readahead; can_migrate_task ]
+let key_pid = 0
+let key_page = 1
+let key_last_page = 2
+let key_feature_base = 8

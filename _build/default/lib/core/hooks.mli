@@ -1,0 +1,26 @@
+(** Kernel hook-point names (§3.1): the decision points where RMT tables
+    are installed.  Using one registry keeps table wiring and experiment
+    code in agreement. *)
+
+val lookup_swap_cache : string
+(** Memory subsystem, per-access data collection (case study 1). *)
+
+val swap_cluster_readahead : string
+(** Memory subsystem, prefetch decision (case study 1). *)
+
+val can_migrate_task : string
+(** Scheduler, migration decision (case study 2). *)
+
+val all : string list
+
+(** {2 Execution-context key layout}
+
+    Context keys are shared between hook wiring, bytecode programs and
+    host-side feature plumbing. *)
+
+val key_pid : int
+val key_page : int
+val key_last_page : int
+val key_feature_base : int
+(** Feature block: recent deltas (most recent first) followed by derived
+    features; see {!Prefetch_rmt} and {!Sched_rmt} for each block's arity. *)

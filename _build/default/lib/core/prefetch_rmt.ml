@@ -1,0 +1,448 @@
+type params = {
+  history : int;
+  n_delta_classes : int;
+  depth : int;
+  window_capacity : int;
+  retrain_period : int;
+  tree_params : Kml.Decision_tree.params;
+  adaptive : bool;
+  pages_per_sec_limit : int;
+  min_leaf_purity_pct : int;
+}
+
+let default_params =
+  { history = 8;
+    n_delta_classes = 32;
+    depth = 8;
+    window_capacity = 6144;
+    retrain_period = 512;
+    tree_params =
+      { Kml.Decision_tree.default_params with max_depth = 12; min_samples_split = 2 };
+    adaptive = true;
+    pages_per_sec_limit = 400_000;
+    min_leaf_purity_pct = 70 }
+
+(* Multi-horizon training sample: the feature block observed at time t
+   (delta history + page-offset features + horizon) labelled with the
+   cumulative page delta j accesses later.  Cumulative deltas stay constant
+   across periodic patterns even when individual steps drift, which is what
+   lets the tree prefetch "through" unpredictable interleaved accesses. *)
+type raw_sample = { features : int array; cum_delta : int }
+
+type pid_state = {
+  ctxt : Rmt.Ctxt.t;
+  mutable predicted_next_page : int option;
+  mutable seen_first : bool;
+  (* recent (features, page) pairs awaiting future labels, newest first *)
+  mutable pending : (int array * int) list;
+}
+
+type t = {
+  params : params;
+  control : Rmt.Control.t;
+  collect_table : Rmt.Table.t;
+  predict_table : Rmt.Table.t;
+  collect_vm : Rmt.Vm.t;
+  predict_vm : Rmt.Vm.t;
+  pids : (int, pid_state) Hashtbl.t;
+  ring : raw_sample option array;
+  mutable ring_head : int;
+  mutable ring_len : int;
+  mutable class_deltas : int array;
+  mutable model_ready : bool;
+  mutable tree : Kml.Decision_tree.t option;
+  mutable now_ns : int;
+  limiter : Rmt.Rate_limit.t;
+  mutable accesses : int;
+  mutable retrains : int;
+  mutable training_samples : int;
+  mutable since_retrain : int;
+  mutable predictions_checked : int;
+  mutable predictions_correct : int;
+  mutable recent_checked : int;
+  mutable recent_correct : int;
+  mutable current_depth : int;
+  mutable online : bool; (* background retraining enabled *)
+}
+
+(* Feature layout: [0..K-1] recent deltas (newest first), [K] page mod 64,
+   [K+1] (page / 64) mod 64, [K+2] prediction horizon (1..depth). *)
+let n_features params = params.history + 3
+
+let result_key_base = 64
+
+(* Data-collection action (installed at lookup_swap_cache): compute the
+   access delta, shift the per-process history window held in RMT_CTXT, and
+   refresh the derived page-offset features. *)
+let build_collect_program params =
+  let open Rmt in
+  let k = params.history in
+  let f = Hooks.key_feature_base in
+  let b = Builder.create ~name:"pf_collect" ~vmem_size:4 () in
+  Builder.emit b (Insn.Ld_ctxt_k (1, Hooks.key_page));
+  Builder.emit b (Insn.Ld_ctxt_k (2, Hooks.key_last_page));
+  Builder.emit b (Insn.Mov (3, 1));
+  Builder.emit b (Insn.Alu (Insn.Sub, 3, 2));
+  (* Clamp the delta feature: far jumps (into output buffers, checkpoint
+     regions, noise) carry drifting magnitudes that would destabilize the
+     tree's thresholds; beyond +-4096 only the direction is informative. *)
+  Builder.emit b (Insn.Alu_imm (Insn.Min, 3, 4096));
+  Builder.emit b (Insn.Alu_imm (Insn.Max, 3, -4096));
+  for i = k - 1 downto 1 do
+    Builder.emit b (Insn.Ld_ctxt_k (4, f + i - 1));
+    Builder.emit b (Insn.St_ctxt (f + i, 4))
+  done;
+  Builder.emit b (Insn.St_ctxt (f, 3));
+  Builder.emit b (Insn.Mov (4, 1));
+  Builder.emit b (Insn.Alu_imm (Insn.Mod, 4, 64));
+  Builder.emit b (Insn.St_ctxt (f + k, 4));
+  Builder.emit b (Insn.Mov (5, 1));
+  Builder.emit b (Insn.Alu_imm (Insn.Div, 5, 64));
+  Builder.emit b (Insn.Alu_imm (Insn.Mod, 5, 64));
+  Builder.emit b (Insn.St_ctxt (f + k + 1, 5));
+  Builder.emit b (Insn.St_ctxt (Hooks.key_last_page, 1));
+  Builder.emit b (Insn.Mov (0, 3));
+  Builder.emit b Insn.Exit;
+  Builder.finish b ()
+
+(* Prediction action (installed at swap_cluster_readahead): vector-load the
+   feature block, then run a bounded REP loop that consults the in-kernel
+   tree once per prediction horizon (the horizon is the last feature slot),
+   writing the predicted delta classes into the result keys of the
+   execution context. *)
+let build_predict_program params =
+  let open Rmt in
+  let nf = n_features params in
+  let b = Builder.create ~name:"pf_predict" ~vmem_size:nf () in
+  let _slot = Builder.add_model b ~n_features:nf in
+  Builder.add_capability b (Program.Guarded { lo = 0; hi = params.n_delta_classes - 1 });
+  Builder.emit b (Insn.Vec_ld_ctxt (0, Hooks.key_feature_base, nf - 1));
+  Builder.emit b (Insn.Ld_imm (7, 1)); (* horizon *)
+  Builder.emit b (Insn.Ld_imm (8, result_key_base));
+  (* loop body: 5 instructions *)
+  Builder.emit b (Insn.Rep (params.depth, 5));
+  Builder.emit b (Insn.Vec_st_reg (nf - 1, 7));
+  Builder.emit b (Insn.Call_ml (0, 0, nf));
+  Builder.emit b (Insn.St_ctxt_r (8, 0));
+  Builder.emit b (Insn.Alu_imm (Insn.Add, 7, 1));
+  Builder.emit b (Insn.Alu_imm (Insn.Add, 8, 1));
+  Builder.emit b (Insn.Ld_imm (0, params.depth));
+  Builder.emit b Insn.Exit;
+  Builder.finish b ()
+
+let empty_tree params =
+  let ds =
+    Kml.Dataset.create ~n_features:(n_features params) ~n_classes:params.n_delta_classes
+  in
+  Kml.Decision_tree.train ds
+
+let create ?(params = default_params) ?(engine = Rmt.Vm.Jit_compiled) ?(seed = 42) () =
+  if params.history < 1 then invalid_arg "Prefetch_rmt.create: history must be positive";
+  if params.n_delta_classes < 2 then
+    invalid_arg "Prefetch_rmt.create: need at least two delta classes";
+  if params.depth < 1 then invalid_arg "Prefetch_rmt.create: depth must be positive";
+  let control = Rmt.Control.create ~engine ~seed () in
+  let model = Rmt.Model_store.Tree (empty_tree params) in
+  let (_ : Rmt.Model_store.handle) = Rmt.Control.register_model control ~name:"pf_tree" model in
+  let collect_vm =
+    match Rmt.Control.install control (build_collect_program params) with
+    | Ok vm -> vm
+    | Error e -> invalid_arg ("Prefetch_rmt: collect program rejected: " ^ e)
+  in
+  let predict_vm =
+    match
+      Rmt.Control.install control ~model_names:[ "pf_tree" ] (build_predict_program params)
+    with
+    | Ok vm -> vm
+    | Error e -> invalid_arg ("Prefetch_rmt: predict program rejected: " ^ e)
+  in
+  let collect_table =
+    Rmt.Control.create_table control ~name:"page_access_tab" ~match_keys:[| Hooks.key_pid |]
+      ~default:(Rmt.Table.Const 0)
+  in
+  let predict_table =
+    Rmt.Control.create_table control ~name:"page_prefetch_tab" ~match_keys:[| Hooks.key_pid |]
+      ~default:(Rmt.Table.Const 0)
+  in
+  Rmt.Control.attach control ~hook:Hooks.lookup_swap_cache collect_table;
+  Rmt.Control.attach control ~hook:Hooks.swap_cluster_readahead predict_table;
+  let t =
+    { params;
+      control;
+      collect_table;
+      predict_table;
+      collect_vm;
+      predict_vm;
+      pids = Hashtbl.create 8;
+      ring = Array.make params.window_capacity None;
+      ring_head = 0;
+      ring_len = 0;
+      class_deltas = Array.make params.n_delta_classes 0;
+      model_ready = false;
+      tree = None;
+      now_ns = 0;
+      limiter =
+        Rmt.Rate_limit.create ~tokens_per_sec:params.pages_per_sec_limit ~burst:256 ~now:0;
+      accesses = 0;
+      retrains = 0;
+      training_samples = 0;
+      since_retrain = 0;
+      predictions_checked = 0;
+      predictions_correct = 0;
+      recent_checked = 0;
+      recent_correct = 0;
+      current_depth = params.depth;
+      online = true }
+  in
+  Rmt.Control.set_clock control (fun () -> t.now_ns);
+  t
+
+let control t = t.control
+
+let pid_state t pid =
+  match Hashtbl.find_opt t.pids pid with
+  | Some st -> st
+  | None ->
+    let st =
+      { ctxt = Rmt.Ctxt.create ();
+        predicted_next_page = None;
+        seen_first = false;
+        pending = [] }
+    in
+    Hashtbl.replace t.pids pid st;
+    (* Control-plane entry insertion for a newly seen process (§3.1: "new
+       entries are inserted when applications are created"). *)
+    let pattern = [| Rmt.Table.Eq pid |] in
+    let (_ : Rmt.Table.entry_id) =
+      Rmt.Table.insert t.collect_table ~patterns:pattern (Rmt.Table.Run t.collect_vm)
+    in
+    let (_ : Rmt.Table.entry_id) =
+      Rmt.Table.insert t.predict_table ~patterns:pattern (Rmt.Table.Run t.predict_vm)
+    in
+    st
+
+let ring_push t sample =
+  t.ring.(t.ring_head) <- Some sample;
+  t.ring_head <- (t.ring_head + 1) mod t.params.window_capacity;
+  if t.ring_len < t.params.window_capacity then t.ring_len <- t.ring_len + 1;
+  t.training_samples <- t.training_samples + 1
+
+let ring_iter t fn =
+  let cap = t.params.window_capacity in
+  let start = (t.ring_head - t.ring_len + cap) mod cap in
+  for i = 0 to t.ring_len - 1 do
+    match t.ring.((start + i) mod cap) with
+    | Some s -> fn s
+    | None -> assert false
+  done
+
+(* Rebuild the delta-class table from the window (most frequent cumulative
+   deltas get classes 1..C-1; 0 and the long tail map to class 0 = no
+   prefetch), then retrain the tree and swap it into the model store. *)
+let retrain t =
+  let freq = Hashtbl.create 64 in
+  ring_iter t (fun s ->
+      if s.cum_delta <> 0 then begin
+        let count = match Hashtbl.find_opt freq s.cum_delta with Some c -> c | None -> 0 in
+        Hashtbl.replace freq s.cum_delta (count + 1)
+      end);
+  let by_freq =
+    List.sort
+      (fun (_, a) (_, b) -> compare b a)
+      (Hashtbl.fold (fun d c acc -> (d, c) :: acc) freq [])
+  in
+  let n_classes = t.params.n_delta_classes in
+  let class_deltas = Array.make n_classes 0 in
+  let class_of = Hashtbl.create 64 in
+  List.iteri
+    (fun i (delta, _) ->
+      if i < n_classes - 1 then begin
+        class_deltas.(i + 1) <- delta;
+        Hashtbl.replace class_of delta (i + 1)
+      end)
+    by_freq;
+  let ds = Kml.Dataset.create ~n_features:(n_features t.params) ~n_classes in
+  ring_iter t (fun s ->
+      let label = match Hashtbl.find_opt class_of s.cum_delta with Some c -> c | None -> 0 in
+      Kml.Dataset.add ds { Kml.Dataset.features = s.features; label });
+  let tree = Kml.Decision_tree.train ~params:t.params.tree_params ds in
+  (* Conservative prefetching: leaves whose majority class is not dominant
+     enough are demoted to class 0 (no prefetch), trading a little coverage
+     for much better accuracy — the "be more conservative in prefetching"
+     adjustment of §3.1. *)
+  let tree =
+    let nodes = Kml.Decision_tree.nodes tree in
+    let pruned =
+      Array.map
+        (fun node ->
+          match node with
+          | Kml.Decision_tree.Leaf { label; counts } ->
+            let total = Array.fold_left ( + ) 0 counts in
+            if total > 0 && 100 * counts.(label) / total < t.params.min_leaf_purity_pct then
+              Kml.Decision_tree.Leaf { label = 0; counts }
+            else node
+          | Kml.Decision_tree.Split _ -> node)
+        nodes
+    in
+    Kml.Decision_tree.of_nodes ~n_features:(n_features t.params) ~n_classes pruned
+  in
+  (* Model admission: the verifier's cost budget also gates swapped-in
+     models; an oversized tree is rejected and the old model kept. *)
+  if Kml.Model_cost.within (Kml.Model_cost.of_tree tree) Kml.Model_cost.default_budget then begin
+    match Rmt.Control.update_model t.control ~name:"pf_tree" (Rmt.Model_store.Tree tree) with
+    | Ok () ->
+      t.class_deltas <- class_deltas;
+      t.tree <- Some tree;
+      t.model_ready <- true;
+      t.retrains <- t.retrains + 1
+    | Error _ -> ()
+  end
+
+let adaptive_update t =
+  if t.params.adaptive && t.recent_checked >= 256 then begin
+    let rate = float_of_int t.recent_correct /. float_of_int t.recent_checked in
+    if rate < 0.3 then t.current_depth <- 1
+    else if rate > 0.6 then t.current_depth <- t.params.depth;
+    t.recent_checked <- 0;
+    t.recent_correct <- 0
+  end
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let on_access t ~pid ~page ~hit:_ ~now =
+  t.now_ns <- now;
+  t.accesses <- t.accesses + 1;
+  let st = pid_state t pid in
+  Rmt.Ctxt.set st.ctxt Hooks.key_pid pid;
+  Rmt.Ctxt.set st.ctxt Hooks.key_page page;
+  if not st.seen_first then begin
+    st.seen_first <- true;
+    Rmt.Ctxt.set st.ctxt Hooks.key_last_page page
+  end;
+  (* Score the previous one-step-ahead prediction (accuracy monitor). *)
+  (match st.predicted_next_page with
+   | Some predicted ->
+     t.predictions_checked <- t.predictions_checked + 1;
+     t.recent_checked <- t.recent_checked + 1;
+     if predicted = page then begin
+       t.predictions_correct <- t.predictions_correct + 1;
+       t.recent_correct <- t.recent_correct + 1
+     end;
+     st.predicted_next_page <- None
+   | None -> ());
+  adaptive_update t;
+  (* Label pending feature snapshots with this access's cumulative deltas. *)
+  List.iteri
+    (fun age (features, base_page) ->
+      let horizon = age + 1 in
+      if horizon <= t.params.depth then begin
+        let f = Array.copy features in
+        f.(Array.length f - 1) <- horizon;
+        ring_push t { features = f; cum_delta = page - base_page }
+      end)
+    st.pending;
+  (* Data collection through the RMT pipeline. *)
+  ignore (Rmt.Control.fire t.control ~hook:Hooks.lookup_swap_cache ~ctxt:st.ctxt);
+  let features =
+    Rmt.Ctxt.get_range st.ctxt ~base:Hooks.key_feature_base ~len:(n_features t.params)
+  in
+  st.pending <- take t.params.depth ((features, page) :: st.pending);
+  t.since_retrain <- t.since_retrain + 1;
+  if t.online && t.since_retrain >= t.params.retrain_period && t.ring_len >= 256 then begin
+    t.since_retrain <- 0;
+    retrain t
+  end;
+  if not t.model_ready then []
+  else begin
+    match Rmt.Control.fire t.control ~hook:Hooks.swap_cluster_readahead ~ctxt:st.ctxt with
+    | None -> []
+    | Some _depth_marker ->
+      let classes =
+        Rmt.Ctxt.get_range st.ctxt ~base:result_key_base ~len:t.current_depth
+      in
+      let pages = ref [] in
+      Array.iteri
+        (fun j cls ->
+          if cls > 0 && cls < Array.length t.class_deltas then begin
+            let delta = t.class_deltas.(cls) in
+            if delta <> 0 then begin
+              let target = page + delta in
+              if j = 0 then st.predicted_next_page <- Some target;
+              if not (List.mem target !pages) then pages := target :: !pages
+            end
+          end)
+        classes;
+      let pages = List.rev !pages in
+      let granted = Rmt.Rate_limit.grant t.limiter ~now ~request:(List.length pages) in
+      take granted pages
+  end
+
+let reset t =
+  Hashtbl.reset t.pids;
+  Rmt.Rate_limit.reset t.limiter ~now:0;
+  Rmt.Table.clear t.collect_table;
+  Rmt.Table.clear t.predict_table;
+  Array.fill t.ring 0 t.params.window_capacity None;
+  t.ring_head <- 0;
+  t.ring_len <- 0;
+  t.class_deltas <- Array.make t.params.n_delta_classes 0;
+  t.model_ready <- false;
+  t.tree <- None;
+  ignore
+    (Rmt.Control.update_model t.control ~name:"pf_tree"
+       (Rmt.Model_store.Tree (empty_tree t.params)));
+  t.accesses <- 0;
+  t.retrains <- 0;
+  t.training_samples <- 0;
+  t.since_retrain <- 0;
+  t.predictions_checked <- 0;
+  t.predictions_correct <- 0;
+  t.recent_checked <- 0;
+  t.recent_correct <- 0;
+  t.current_depth <- t.params.depth;
+  t.online <- true
+
+let set_online t enabled = t.online <- enabled
+
+let prefetcher t =
+  { Ksim.Prefetcher.name = "rmt-ml";
+    on_access = (fun ~pid ~page ~hit ~now -> on_access t ~pid ~page ~hit ~now);
+    reset = (fun () -> reset t) }
+
+type stats = {
+  accesses : int;
+  retrains : int;
+  training_samples : int;
+  model_invocations : int;
+  vm_invocations : int;
+  vm_steps : int;
+  predictions_checked : int;
+  predictions_correct : int;
+  current_depth : int;
+  throttled_pages : int;
+  ctxt_reads : int;
+}
+
+let stats t =
+  let model_invocations =
+    match Rmt.Model_store.find (Rmt.Control.models t.control) "pf_tree" with
+    | Some h -> Rmt.Model_store.invocations (Rmt.Control.models t.control) h
+    | None -> 0
+  in
+  let ctxt_reads = Hashtbl.fold (fun _ st acc -> acc + Rmt.Ctxt.reads st.ctxt) t.pids 0 in
+  { accesses = t.accesses;
+    retrains = t.retrains;
+    training_samples = t.training_samples;
+    model_invocations;
+    vm_invocations = Rmt.Vm.invocations t.collect_vm + Rmt.Vm.invocations t.predict_vm;
+    vm_steps = Rmt.Vm.total_steps t.collect_vm + Rmt.Vm.total_steps t.predict_vm;
+    predictions_checked = t.predictions_checked;
+    predictions_correct = t.predictions_correct;
+    current_depth = t.current_depth;
+    throttled_pages = Rmt.Rate_limit.throttled t.limiter;
+    ctxt_reads }
+
+let tree t = t.tree

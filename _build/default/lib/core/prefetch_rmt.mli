@@ -1,0 +1,81 @@
+(** Case study 1 (§4, Table 1): ML-driven page prefetching on the RMT
+    virtual machine.
+
+    Two match/action tables are installed, exactly as in the paper's
+    Figure 1 sketch:
+
+    - a {e data-collection} table at the [lookup_swap_cache] hook whose
+      action (RMT bytecode) maintains a per-process feature block in the
+      execution context: the recent page-access delta history plus two
+      page-offset features;
+    - a {e prediction} table at the [swap_cluster_readahead] hook whose
+      action loads the feature block with [RMT_VECTOR_LD] and consults an
+      in-kernel integer decision tree via [CALL_ML], returning a quantized
+      delta class.
+
+    Per-process table entries are inserted through the control-plane API
+    the first time a process is seen.  An online trainer accumulates
+    (history → next delta) samples in a sliding window and periodically
+    retrains the tree in the background, swapping it into the model store
+    (the paper: "trains a new decision tree periodically in the background
+    for each time window, while discarding the old ones").  An accuracy
+    monitor scales the prefetch depth down when recent predictions go
+    stale and back up when they recover (§3.1 "Updating RMT entries"). *)
+
+type params = {
+  history : int;            (** delta-history length K (feature arity = K + 2) *)
+  n_delta_classes : int;    (** delta classes incl. class 0 = "no prefetch" *)
+  depth : int;              (** prefetch roll-forward depth *)
+  window_capacity : int;    (** online training window (samples) *)
+  retrain_period : int;     (** accesses between background retrains *)
+  tree_params : Kml.Decision_tree.params;
+  adaptive : bool;          (** accuracy-triggered depth scaling *)
+  pages_per_sec_limit : int; (** prefetch-issue rate limit (token bucket) *)
+  min_leaf_purity_pct : int;
+      (** leaves whose majority class holds less than this percentage of
+          their samples are demoted to "no prefetch" (conservative
+          prefetching, §3.1) *)
+}
+
+val default_params : params
+
+type t
+
+val create : ?params:params -> ?engine:Rmt.Vm.engine -> ?seed:int -> unit -> t
+val prefetcher : t -> Ksim.Prefetcher.t
+(** The {!Ksim.Mem_sim}-compatible interface.  [reset] clears per-process
+    state, the training window and the model. *)
+
+val control : t -> Rmt.Control.t
+(** The underlying control plane (for inspection and tests). *)
+
+val set_online : t -> bool -> unit
+(** Enable/disable background retraining at runtime (freezing the current
+    model) — the control the adaptivity ablation toggles.  [reset]
+    re-enables it. *)
+
+type stats = {
+  accesses : int;
+  retrains : int;
+  training_samples : int;
+  model_invocations : int;   (** CALL_ML executions (incl. roll-forward) *)
+  vm_invocations : int;      (** RMT program runs across both tables *)
+  vm_steps : int;            (** dynamic bytecode instructions executed *)
+  predictions_checked : int; (** one-step-ahead predictions scored *)
+  predictions_correct : int;
+  current_depth : int;
+  throttled_pages : int;     (** prefetches refused by the rate limiter *)
+  ctxt_reads : int;          (** monitor-word reads (lean-monitoring metric) *)
+}
+
+val stats : t -> stats
+val tree : t -> Kml.Decision_tree.t option
+(** The current model, once at least one retrain has happened. *)
+
+(** {2 Program builders}
+
+    Exposed for the VM-overhead benchmarks and tests: the exact bytecode
+    the case study installs. *)
+
+val build_collect_program : params -> Rmt.Program.t
+val build_predict_program : params -> Rmt.Program.t

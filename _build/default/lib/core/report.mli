@@ -1,0 +1,30 @@
+(** Rendering of experiment results, including side-by-side comparison with
+    the numbers the paper reports (EXPERIMENTS.md records the same). *)
+
+val paper_table1 : (string * string * float * float * float) list
+(** (benchmark, system, accuracy %, coverage %, completion s) as printed in
+    the paper's Table 1. *)
+
+val paper_table2 : (string * string * float * float) list
+(** (benchmark, system, accuracy %, JCT s) as printed in the paper's
+    Table 2 (accuracy for "linux" is 100 by definition). *)
+
+val print_table1 : Format.formatter -> Experiment.table1_row list -> unit
+val print_table2 : Format.formatter -> Experiment.table2_row list -> unit
+val print_lean : Format.formatter -> Experiment.lean_row list -> unit
+val print_window : Format.formatter -> Experiment.window_row list -> unit
+val print_quant : Format.formatter -> Experiment.quant_row list -> unit
+val print_adapt : Format.formatter -> Experiment.adapt_row list -> unit
+val print_distill : Format.formatter -> Experiment.distill_row list -> unit
+val print_privacy : Format.formatter -> Experiment.privacy_row list -> unit
+val print_overhead : Format.formatter -> Experiment.overhead_row list -> unit
+
+val shape_checks : Experiment.table1_row list -> Experiment.table2_row list -> (string * bool) list
+(** The qualitative claims that must hold for the reproduction to count
+    (DESIGN.md §4): each is (description, holds?). *)
+
+val print_family : Format.formatter -> Experiment.family_row list -> unit
+val print_nas : Format.formatter -> Experiment.nas_row list -> unit
+val print_granularity : Format.formatter -> Experiment.granularity_row list -> unit
+val print_cross : Format.formatter -> Experiment.cross_row list -> unit
+val print_online : Format.formatter -> Experiment.online_row list -> unit

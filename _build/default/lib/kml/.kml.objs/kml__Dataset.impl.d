@@ -1,0 +1,1 @@
+lib/kml/dataset.ml: Array Float Format List Rng Stdlib String

@@ -1,0 +1,1 @@
+lib/kml/dataset.mli: Format Rng Tensor

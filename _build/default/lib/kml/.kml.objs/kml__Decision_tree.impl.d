@@ -1,0 +1,1 @@
+lib/kml/decision_tree.ml: Array Dataset Float Format Fun Hashtbl List Stdlib String

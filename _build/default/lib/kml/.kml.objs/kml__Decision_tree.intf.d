@@ -1,0 +1,1 @@
+lib/kml/decision_tree.mli: Dataset Format

@@ -1,0 +1,1 @@
+lib/kml/distill.ml: Array Dataset Decision_tree List Rng

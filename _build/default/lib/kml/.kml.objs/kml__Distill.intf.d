@@ -1,0 +1,1 @@
+lib/kml/distill.mli: Dataset Decision_tree Rng

@@ -1,0 +1,1 @@
+lib/kml/feature_rank.ml: Array Dataset Decision_tree Format Fun Metrics Rng

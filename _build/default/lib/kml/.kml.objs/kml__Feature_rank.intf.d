@@ -1,0 +1,1 @@
+lib/kml/feature_rank.mli: Dataset Decision_tree Format Rng

@@ -1,0 +1,1 @@
+lib/kml/fixed.ml: Float Format Stdlib

@@ -1,0 +1,1 @@
+lib/kml/fixed.mli: Format

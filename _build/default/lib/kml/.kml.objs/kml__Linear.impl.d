@@ -1,0 +1,1 @@
+lib/kml/linear.ml: Array Dataset Fixed Fun Rng Stdlib

@@ -1,0 +1,1 @@
+lib/kml/linear.mli: Dataset Fixed Rng

@@ -1,0 +1,1 @@
+lib/kml/metrics.ml: Array Dataset Float Format List

@@ -1,0 +1,1 @@
+lib/kml/metrics.mli: Dataset Format

@@ -1,0 +1,1 @@
+lib/kml/mlp.ml: Array Dataset Float Fun List Mat Rng Stdlib Tensor Vec

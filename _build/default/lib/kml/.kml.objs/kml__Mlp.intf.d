@@ -1,0 +1,1 @@
+lib/kml/mlp.mli: Dataset Rng Tensor

@@ -1,0 +1,1 @@
+lib/kml/model_cost.ml: Decision_tree Format Linear List Quantize

@@ -1,0 +1,1 @@
+lib/kml/model_cost.mli: Decision_tree Format Linear Quantize

@@ -1,0 +1,1 @@
+lib/kml/nas.ml: Array Dataset List Metrics Mlp Model_cost Rng

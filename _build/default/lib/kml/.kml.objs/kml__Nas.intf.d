@@ -1,0 +1,1 @@
+lib/kml/nas.mli: Dataset Mlp Model_cost Rng

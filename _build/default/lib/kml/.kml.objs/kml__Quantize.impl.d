@@ -1,0 +1,1 @@
+lib/kml/quantize.ml: Array Fixed List Metrics Mlp Qmat Qvec Tensor

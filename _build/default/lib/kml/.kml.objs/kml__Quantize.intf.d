@@ -1,0 +1,1 @@
+lib/kml/quantize.mli: Dataset Mlp Tensor

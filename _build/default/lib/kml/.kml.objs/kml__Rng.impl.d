@@ -1,0 +1,1 @@
+lib/kml/rng.ml: Array Float Int64

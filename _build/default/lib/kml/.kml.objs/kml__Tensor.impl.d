@@ -1,0 +1,1 @@
+lib/kml/tensor.ml: Array Fixed Format

@@ -1,0 +1,1 @@
+lib/kml/tensor.mli: Fixed Format

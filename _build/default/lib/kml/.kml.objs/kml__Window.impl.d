@@ -1,0 +1,1 @@
+lib/kml/window.ml: Array Dataset

@@ -1,0 +1,1 @@
+lib/kml/window.mli: Dataset

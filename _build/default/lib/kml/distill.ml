@@ -1,0 +1,47 @@
+let to_tree ?params ~teacher ?(extra_inputs = []) ds =
+  let nf = Dataset.n_features ds and nc = Dataset.n_classes ds in
+  let relabelled = Dataset.create ~n_features:nf ~n_classes:nc in
+  Dataset.iter
+    (fun (s : Dataset.sample) ->
+      Dataset.add relabelled { s with label = teacher s.features })
+    ds;
+  List.iter
+    (fun features -> Dataset.add relabelled { Dataset.features; label = teacher features })
+    extra_inputs;
+  Decision_tree.train ?params relabelled
+
+let fidelity ~student ~teacher ds =
+  if Dataset.length ds = 0 then 0.0
+  else begin
+    let agree =
+      Dataset.fold
+        (fun acc (s : Dataset.sample) ->
+          if student s.features = teacher s.features then acc + 1 else acc)
+        0 ds
+    in
+    float_of_int agree /. float_of_int (Dataset.length ds)
+  end
+
+let augment_inputs ~rng ds ~n =
+  if Dataset.length ds = 0 then []
+  else begin
+    let nf = Dataset.n_features ds in
+    let lo = Array.make nf max_int and hi = Array.make nf min_int in
+    Dataset.iter
+      (fun s ->
+        Array.iteri
+          (fun j v ->
+            if v < lo.(j) then lo.(j) <- v;
+            if v > hi.(j) then hi.(j) <- v)
+          s.Dataset.features)
+      ds;
+    List.init n (fun _ ->
+        (* Start from a random row and resample a random subset of features
+           uniformly within the observed range. *)
+        let base = Dataset.get ds (Rng.int rng (Dataset.length ds)) in
+        Array.mapi
+          (fun j v ->
+            if Rng.bool rng && hi.(j) > lo.(j) then lo.(j) + Rng.int rng (hi.(j) - lo.(j) + 1)
+            else v)
+          base.Dataset.features)
+  end

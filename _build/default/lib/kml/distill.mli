@@ -1,0 +1,24 @@
+(** Knowledge distillation (§3.2): convert a large "teacher" model into a
+    drastically smaller "student" suitable for the kernel's critical path.
+
+    The student is trained on the *teacher's predictions* (optionally over
+    extra unlabelled inputs), so it approximates the teacher's decision
+    surface rather than the raw labels.  Distilling to a decision tree also
+    yields interpretable splits, serving the lean-monitoring goal. *)
+
+val to_tree :
+  ?params:Decision_tree.params ->
+  teacher:(int array -> int) ->
+  ?extra_inputs:int array list ->
+  Dataset.t ->
+  Decision_tree.t
+(** [to_tree ~teacher ds] relabels [ds] (and any [extra_inputs]) with the
+    teacher and trains a tree on the result. *)
+
+val fidelity : student:(int array -> int) -> teacher:(int array -> int) -> Dataset.t -> float
+(** Fraction of inputs where the student agrees with the teacher. *)
+
+val augment_inputs : rng:Rng.t -> Dataset.t -> n:int -> int array list
+(** Synthesize [n] plausible extra inputs by jittering dataset rows
+    (per-feature resampling within observed min/max), for denser coverage of
+    the teacher's decision surface. *)

@@ -1,0 +1,37 @@
+(** Integer linear classifiers — the "Integer SVM" family of Figure 1.
+
+    [Perceptron] is a fully integer online learner (averaged perceptron):
+    both training and inference use only integer arithmetic, making it
+    suitable for in-kernel *online* training (§3.2).  [Svm] is a linear SVM
+    trained in float space by subgradient descent on the hinge loss and
+    quantized to Q16.16 for inference. *)
+
+module Perceptron : sig
+  type t
+
+  val create : n_features:int -> n_classes:int -> t
+  val learn : t -> int array -> int -> unit
+  (** One online update with (features, label). *)
+
+  val predict : t -> int array -> int
+  val train : ?epochs:int -> rng:Rng.t -> Dataset.t -> t
+  (** Batch convenience wrapper: shuffled online passes. *)
+
+  val weights : t -> int array array
+  (** Per-class weight vectors (last element is the bias). *)
+end
+
+module Svm : sig
+  type t
+
+  val train :
+    ?epochs:int -> ?learning_rate:float -> ?regularization:float -> rng:Rng.t -> Dataset.t -> t
+  (** One-vs-rest linear SVM.  Binary problems train a single separator. *)
+
+  val predict : t -> int array -> int
+  val decision : t -> int array -> Fixed.t array
+  (** Per-class scores (Q16.16). *)
+
+  val n_features : t -> int
+  val n_classes : t -> int
+end

@@ -1,0 +1,42 @@
+(** Multilayer perceptron, trained in float space ("userspace" in the
+    paper's deployment model, §3.2): ReLU hidden layers, softmax output,
+    minibatch SGD with momentum on cross-entropy loss.
+
+    Inputs are standardized (per-feature mean/std computed on the training
+    set); the normalization constants are part of the model and are carried
+    through quantization. *)
+
+type layer = { weights : Tensor.Mat.t; bias : Tensor.Vec.t }
+(** [weights] has shape (fan_out × fan_in). *)
+
+type t
+
+type params = {
+  hidden : int list;   (** hidden-layer widths, e.g. [[16; 16]] *)
+  epochs : int;
+  batch_size : int;
+  learning_rate : float;
+  momentum : float;
+  weight_decay : float;
+}
+
+val default_params : params
+val train : ?params:params -> rng:Rng.t -> Dataset.t -> t
+(** Raises [Invalid_argument] on an empty dataset. *)
+
+val predict : t -> int array -> int
+val predict_probs : t -> int array -> float array
+val logits : t -> Tensor.Vec.t -> Tensor.Vec.t
+(** Forward pass on an already-normalized float input. *)
+
+val normalize : t -> int array -> Tensor.Vec.t
+(** Apply the stored standardization to raw integer features. *)
+
+val layers : t -> layer list
+val n_features : t -> int
+val n_classes : t -> int
+val feature_mean : t -> Tensor.Vec.t
+val feature_std : t -> Tensor.Vec.t
+val n_parameters : t -> int
+val architecture : t -> int list
+(** Layer widths input → output, e.g. [[15; 16; 16; 2]]. *)

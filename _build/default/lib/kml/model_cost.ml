@@ -1,0 +1,50 @@
+type t = { macs : int; comparisons : int; memory_words : int }
+
+let zero = { macs = 0; comparisons = 0; memory_words = 0 }
+
+let add a b =
+  { macs = a.macs + b.macs;
+    comparisons = a.comparisons + b.comparisons;
+    memory_words = a.memory_words + b.memory_words }
+
+let of_tree tree =
+  (* One comparison per level on the worst-case path; each node occupies four
+     words (kind, feature/label, threshold, child links). *)
+  { macs = 0;
+    comparisons = Decision_tree.depth tree;
+    memory_words = 4 * Decision_tree.n_nodes tree }
+
+let of_mlp_architecture widths =
+  match widths with
+  | [] | [ _ ] -> zero
+  | input :: rest ->
+    let macs = ref 0 and mem = ref 0 and prev = ref input in
+    List.iter
+      (fun w ->
+        macs := !macs + (!prev * w);
+        mem := !mem + (!prev * w) + w;
+        prev := w)
+      rest;
+    (* Normalization costs one multiply per input feature; argmax costs one
+       comparison per output. *)
+    { macs = !macs + input;
+      comparisons = (match List.rev rest with [] -> 0 | out :: _ -> out);
+      memory_words = !mem + (2 * input) }
+
+let of_qmlp q = of_mlp_architecture (Quantize.Qmlp.architecture q)
+
+let of_svm svm =
+  let nf = Linear.Svm.n_features svm and nc = Linear.Svm.n_classes svm in
+  { macs = (nc * nf) + nf; comparisons = nc; memory_words = (nc * (nf + 1)) + (2 * nf) }
+
+type budget = { max_macs : int; max_comparisons : int; max_memory_words : int }
+
+let default_budget = { max_macs = 65536; max_comparisons = 256; max_memory_words = 262144 }
+let fast_path_budget = { max_macs = 2048; max_comparisons = 32; max_memory_words = 8192 }
+
+let within c b =
+  c.macs <= b.max_macs && c.comparisons <= b.max_comparisons
+  && c.memory_words <= b.max_memory_words
+
+let pp fmt c =
+  Format.fprintf fmt "macs=%d comparisons=%d memory=%d words" c.macs c.comparisons c.memory_words

@@ -1,0 +1,34 @@
+(** Static cost model for admitted ML models (§3.2, §3.3).
+
+    The RMT verifier "statically checks the model — e.g. by computing the
+    number of floating point operations for a convolutional layer" before
+    JIT-compiling it.  Here the analogue is exact: multiply–accumulate
+    counts, memory footprint and worst-case comparison depth, computed from
+    model structure alone, compared against a per-hook budget. *)
+
+type t = {
+  macs : int;           (** multiply–accumulate operations per inference *)
+  comparisons : int;    (** worst-case branch comparisons per inference *)
+  memory_words : int;   (** parameter + buffer words resident in the kernel *)
+}
+
+val zero : t
+val add : t -> t -> t
+val of_tree : Decision_tree.t -> t
+val of_qmlp : Quantize.Qmlp.t -> t
+val of_mlp_architecture : int list -> t
+(** Cost of an MLP given layer widths (input :: hidden… :: output) without
+    training it — used by NAS to prune candidates before training. *)
+
+val of_svm : Linear.Svm.t -> t
+
+type budget = { max_macs : int; max_comparisons : int; max_memory_words : int }
+
+val default_budget : budget
+(** Generous defaults sized for microsecond-scale hooks. *)
+
+val fast_path_budget : budget
+(** Tight budget for hooks on nanosecond-scale paths (e.g. scheduling). *)
+
+val within : t -> budget -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+type candidate = {
+  hidden : int list;
+  learning_rate : float;
+  epochs : int;
+  cost : Model_cost.t;
+  val_accuracy : float;
+}
+
+type result = {
+  best : candidate;
+  model : Mlp.t;
+  explored : candidate list;
+  pruned : int;
+}
+
+let search ~rng ?(trials = 12) ?(budget = Model_cost.default_budget)
+    ?(widths = [| 4; 8; 16; 32 |]) ?(depths = [| 1; 2 |]) ~train ~validation () =
+  if Dataset.length train = 0 then invalid_arg "Nas.search: empty training set";
+  let nf = Dataset.n_features train and nc = Dataset.n_classes train in
+  let pruned = ref 0 in
+  let explored = ref [] in
+  let best = ref None in
+  for _trial = 1 to trials do
+    let depth = depths.(Rng.int rng (Array.length depths)) in
+    let hidden = List.init depth (fun _ -> widths.(Rng.int rng (Array.length widths))) in
+    let learning_rate = [| 0.01; 0.03; 0.05; 0.1 |].(Rng.int rng 4) in
+    let epochs = [| 15; 25; 40 |].(Rng.int rng 3) in
+    let cost = Model_cost.of_mlp_architecture ((nf :: hidden) @ [ nc ]) in
+    if not (Model_cost.within cost budget) then incr pruned
+    else begin
+      let params =
+        { Mlp.default_params with hidden; learning_rate; epochs }
+      in
+      let model = Mlp.train ~params ~rng train in
+      let val_accuracy = Metrics.accuracy_of ~predict:(Mlp.predict model) validation in
+      let cand = { hidden; learning_rate; epochs; cost; val_accuracy } in
+      explored := (cand, model) :: !explored;
+      let better =
+        match !best with
+        | None -> true
+        | Some (b, _) ->
+          val_accuracy > b.val_accuracy
+          || (val_accuracy = b.val_accuracy && cost.Model_cost.macs < b.cost.Model_cost.macs)
+      in
+      if better then best := Some (cand, model)
+    end
+  done;
+  match !best with
+  | None -> invalid_arg "Nas.search: no candidate fits the cost budget"
+  | Some (best_cand, model) ->
+    let by_accuracy =
+      List.sort
+        (fun (a, _) (b, _) -> compare b.val_accuracy a.val_accuracy)
+        !explored
+    in
+    { best = best_cand; model; explored = List.map fst by_accuracy; pruned = !pruned }

@@ -1,0 +1,38 @@
+(** Cost-bounded neural architecture search (§3.2 "Customized ML").
+
+    A deliberately small NAS: random search over MLP depth/width/training
+    hyper-parameters, with candidates whose *static* cost exceeds the model
+    budget pruned before training (the verifier would reject them anyway).
+    This mirrors the paper's proposal that NAS runs offline and only
+    admissible architectures are pushed to the kernel. *)
+
+type candidate = {
+  hidden : int list;
+  learning_rate : float;
+  epochs : int;
+  cost : Model_cost.t;
+  val_accuracy : float;
+}
+
+type result = {
+  best : candidate;
+  model : Mlp.t;
+  explored : candidate list; (** every trained candidate, best first *)
+  pruned : int;              (** candidates rejected by the cost budget *)
+}
+
+val search :
+  rng:Rng.t ->
+  ?trials:int ->
+  ?budget:Model_cost.budget ->
+  ?widths:int array ->
+  ?depths:int array ->
+  train:Dataset.t ->
+  validation:Dataset.t ->
+  unit ->
+  result
+(** [search ~rng ~train ~validation ()] samples [trials] (default 12)
+    architectures with hidden widths from [widths] (default [|4;8;16;32|])
+    and depth from [depths] (default [|1;2|]), trains the admissible ones
+    and returns the best by validation accuracy (ties: cheaper wins).
+    Raises [Invalid_argument] if no candidate fits the budget. *)

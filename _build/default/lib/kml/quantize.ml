@@ -1,0 +1,74 @@
+open Tensor
+
+module Qmlp = struct
+  type qlayer = { weights : Qmat.t; bias : Qvec.t }
+
+  type t = {
+    layers : qlayer list;
+    n_features : int;
+    n_classes : int;
+    mean : Qvec.t;
+    inv_std : Qvec.t; (* 1/std precomputed: kernel-side division is avoided *)
+    scratch : Qvec.t array; (* per-layer output buffers, reused across calls *)
+    input : Qvec.t;         (* normalized-input buffer, reused across calls *)
+  }
+
+  let of_mlp mlp =
+    let layers =
+      List.map
+        (fun { Mlp.weights; bias } -> { weights = Qmat.of_mat weights; bias = Qvec.of_vec bias })
+        (Mlp.layers mlp)
+    in
+    let scratch =
+      Array.of_list (List.map (fun l -> Qvec.create (Qmat.rows l.weights)) layers)
+    in
+    { layers;
+      n_features = Mlp.n_features mlp;
+      n_classes = Mlp.n_classes mlp;
+      mean = Qvec.of_vec (Mlp.feature_mean mlp);
+      inv_std = Qvec.of_vec (Array.map (fun s -> 1.0 /. s) (Mlp.feature_std mlp));
+      scratch;
+      input = Qvec.create (Mlp.n_features mlp) }
+
+  let normalize t features =
+    if Array.length features <> t.n_features then invalid_arg "Qmlp: feature arity mismatch";
+    for j = 0 to t.n_features - 1 do
+      t.input.(j) <-
+        Fixed.mul (Fixed.sub (Fixed.of_int features.(j)) t.mean.(j)) t.inv_std.(j)
+    done;
+    t.input
+
+  let logits t features =
+    let x = ref (normalize t features) in
+    let n = List.length t.layers in
+    List.iteri
+      (fun i { weights; bias } ->
+        let out = t.scratch.(i) in
+        Qmat.mul_vec_into weights !x out;
+        Qvec.add_inplace out bias;
+        if i < n - 1 then Qvec.relu_inplace out;
+        x := out)
+      t.layers;
+    Array.copy !x
+
+  let predict t features = Qvec.max_index (logits t features)
+  let n_features t = t.n_features
+  let n_classes t = t.n_classes
+
+  let n_parameters t =
+    List.fold_left
+      (fun acc { weights; bias } ->
+        acc + (Qmat.rows weights * Qmat.cols weights) + Qvec.dim bias)
+      0 t.layers
+
+  let architecture t =
+    match t.layers with
+    | [] -> [ t.n_features ]
+    | first :: _ -> Qmat.cols first.weights :: List.map (fun l -> Qmat.rows l.weights) t.layers
+end
+
+let accuracy_drop mlp ds =
+  let q = Qmlp.of_mlp mlp in
+  let acc_f = Metrics.accuracy_of ~predict:(Mlp.predict mlp) ds in
+  let acc_q = Metrics.accuracy_of ~predict:(Qmlp.predict q) ds in
+  acc_f -. acc_q

@@ -1,0 +1,23 @@
+(** Model quantization: float MLPs trained in userspace are converted to
+    Q16.16 integer models and "pushed to the kernel for inference" (§3.2).
+
+    The quantized model embeds the standardization constants as fixed-point
+    values, so kernel-side inference takes raw integer features. *)
+
+module Qmlp : sig
+  type t
+
+  val of_mlp : Mlp.t -> t
+  val predict : t -> int array -> int
+  (** Integer-only forward pass on raw integer features. *)
+
+  val logits : t -> int array -> Tensor.Qvec.t
+  val n_features : t -> int
+  val n_classes : t -> int
+  val n_parameters : t -> int
+  val architecture : t -> int list
+end
+
+val accuracy_drop : Mlp.t -> Dataset.t -> float
+(** [accuracy (float model) - accuracy (quantized model)] on the dataset:
+    the quantization penalty (ablation C). *)

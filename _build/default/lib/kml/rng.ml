@@ -1,0 +1,62 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias.  [next] is uniform on
+     [0, 2^62); accept below the largest multiple of [bound] that fits in
+     the native int (2^62 itself is not representable). *)
+  let limit = max_int / bound * bound in
+  let rec draw () =
+    let v = next t in
+    if v < limit then v mod bound else draw ()
+  in
+  draw ()
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+let uniform t = float_of_int (next t) /. 4611686018427387904.0 (* 2^62 *)
+let float t bound = uniform t *. bound
+
+let gaussian t =
+  let rec nonzero () =
+    let u = uniform t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = uniform t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0,1]";
+  if p >= 1.0 then 0
+  else begin
+    let rec nonzero () =
+      let u = uniform t in
+      if u > 0.0 then u else nonzero ()
+    in
+    int_of_float (Float.floor (log (nonzero ()) /. log (1.0 -. p)))
+  end
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split t = { state = mix (next64 t) }

@@ -1,0 +1,36 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    Every stochastic component in the repository (workload generators, SGD
+    shuffling, NAS search, DP noise) draws from an explicit [Rng.t] so that
+    experiments are reproducible bit-for-bit from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator; equal seeds yield equal streams. *)
+
+val copy : t -> t
+val next : t -> int
+(** Uniform in \[0, 2^62). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound). [bound] must be positive. *)
+
+val bool : t -> bool
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val uniform : t -> float
+(** Uniform in \[0, 1). *)
+
+val gaussian : t -> float
+(** Standard normal via Box–Muller. *)
+
+val geometric : t -> p:float -> int
+(** Number of failures before the first success; [p] in (0, 1]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Fork an independent stream (advances the parent). *)

@@ -1,0 +1,213 @@
+module Vec = struct
+  type t = float array
+
+  let create n = Array.make n 0.0
+  let init = Array.init
+  let copy = Array.copy
+  let dim = Array.length
+
+  let check_same_dim a b name =
+    if Array.length a <> Array.length b then invalid_arg (name ^ ": dimension mismatch")
+
+  let dot a b =
+    check_same_dim a b "Vec.dot";
+    let acc = ref 0.0 in
+    for i = 0 to Array.length a - 1 do
+      acc := !acc +. (a.(i) *. b.(i))
+    done;
+    !acc
+
+  let add a b =
+    check_same_dim a b "Vec.add";
+    Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+  let sub a b =
+    check_same_dim a b "Vec.sub";
+    Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+  let scale alpha a = Array.map (fun x -> alpha *. x) a
+
+  let axpy ~alpha ~x ~y =
+    check_same_dim x y "Vec.axpy";
+    for i = 0 to Array.length x - 1 do
+      y.(i) <- y.(i) +. (alpha *. x.(i))
+    done
+
+  let map = Array.map
+
+  let max_index v =
+    if Array.length v = 0 then invalid_arg "Vec.max_index: empty vector";
+    let best = ref 0 in
+    for i = 1 to Array.length v - 1 do
+      if v.(i) > v.(!best) then best := i
+    done;
+    !best
+
+  let l2_norm v = sqrt (dot v v)
+
+  let mean v =
+    if Array.length v = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 v /. float_of_int (Array.length v)
+
+  let pp fmt v =
+    Format.fprintf fmt "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+         (fun fmt x -> Format.fprintf fmt "%.4f" x))
+      (Array.to_list v)
+end
+
+module Mat = struct
+  type t = { rows : int; cols : int; data : float array }
+
+  let create ~rows ~cols =
+    if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+    { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+  let init ~rows ~cols f =
+    let m = create ~rows ~cols in
+    for i = 0 to rows - 1 do
+      for j = 0 to cols - 1 do
+        m.data.((i * cols) + j) <- f i j
+      done
+    done;
+    m
+
+  let rows m = m.rows
+  let cols m = m.cols
+
+  let get m i j =
+    if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Mat.get: out of bounds";
+    m.data.((i * m.cols) + j)
+
+  let set m i j v =
+    if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Mat.set: out of bounds";
+    m.data.((i * m.cols) + j) <- v
+
+  let copy m = { m with data = Array.copy m.data }
+  let row m i = Array.sub m.data (i * m.cols) m.cols
+
+  let mul_vec m x =
+    if m.cols <> Array.length x then invalid_arg "Mat.mul_vec: dimension mismatch";
+    let out = Array.make m.rows 0.0 in
+    for i = 0 to m.rows - 1 do
+      let base = i * m.cols in
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.(base + j) *. x.(j))
+      done;
+      out.(i) <- !acc
+    done;
+    out
+
+  let tmul_vec m x =
+    if m.rows <> Array.length x then invalid_arg "Mat.tmul_vec: dimension mismatch";
+    let out = Array.make m.cols 0.0 in
+    for i = 0 to m.rows - 1 do
+      let base = i * m.cols in
+      let xi = x.(i) in
+      for j = 0 to m.cols - 1 do
+        out.(j) <- out.(j) +. (m.data.(base + j) *. xi)
+      done
+    done;
+    out
+
+  let mul a b =
+    if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
+    let out = create ~rows:a.rows ~cols:b.cols in
+    for i = 0 to a.rows - 1 do
+      for k = 0 to a.cols - 1 do
+        let aik = a.data.((i * a.cols) + k) in
+        if aik <> 0.0 then
+          for j = 0 to b.cols - 1 do
+            out.data.((i * b.cols) + j) <-
+              out.data.((i * b.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+          done
+      done
+    done;
+    out
+
+  let map f m = { m with data = Array.map f m.data }
+
+  let pp fmt m =
+    for i = 0 to m.rows - 1 do
+      Format.fprintf fmt "%a@." Vec.pp (row m i)
+    done
+end
+
+module Qvec = struct
+  type t = Fixed.t array
+
+  let create n = Array.make n Fixed.zero
+  let of_vec v = Array.map Fixed.of_float v
+  let to_vec v = Array.map Fixed.to_float v
+  let dim = Array.length
+
+  let dot (a : t) (b : t) =
+    if Array.length a <> Array.length b then invalid_arg "Qvec.dot: dimension mismatch";
+    let acc = ref 0 in
+    for i = 0 to Array.length a - 1 do
+      acc := !acc + (((a.(i) :> int) * (b.(i) :> int)) asr Fixed.frac_bits)
+    done;
+    Fixed.of_raw !acc
+
+  let add_inplace dst src =
+    if Array.length dst <> Array.length src then invalid_arg "Qvec.add_inplace: dimension mismatch";
+    for i = 0 to Array.length dst - 1 do
+      dst.(i) <- Fixed.add dst.(i) src.(i)
+    done
+
+  let relu_inplace v =
+    for i = 0 to Array.length v - 1 do
+      v.(i) <- Fixed.relu v.(i)
+    done
+
+  let max_index v =
+    if Array.length v = 0 then invalid_arg "Qvec.max_index: empty vector";
+    let best = ref 0 in
+    for i = 1 to Array.length v - 1 do
+      if Fixed.( > ) v.(i) v.(!best) then best := i
+    done;
+    !best
+end
+
+module Qmat = struct
+  type t = { rows : int; cols : int; data : Fixed.t array }
+
+  let of_mat m =
+    let rows = Mat.rows m and cols = Mat.cols m in
+    let data = Array.make (rows * cols) Fixed.zero in
+    for i = 0 to rows - 1 do
+      for j = 0 to cols - 1 do
+        data.((i * cols) + j) <- Fixed.of_float (Mat.get m i j)
+      done
+    done;
+    { rows; cols; data }
+
+  let rows m = m.rows
+  let cols m = m.cols
+
+  let get m i j =
+    if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Qmat.get: out of bounds";
+    m.data.((i * m.cols) + j)
+
+  let mul_vec_into m (x : Qvec.t) (out : Qvec.t) =
+    if m.cols <> Array.length x then invalid_arg "Qmat.mul_vec_into: dimension mismatch";
+    if m.rows <> Array.length out then invalid_arg "Qmat.mul_vec_into: output dimension mismatch";
+    (* Hot path: raw Q16.16 multiply-accumulate.  Products of in-range
+       values fit the 63-bit int with >20 bits to spare, so per-element
+       rounding/saturation is deferred to one [of_raw] per row. *)
+    for i = 0 to m.rows - 1 do
+      let base = i * m.cols in
+      let acc = ref 0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc + (((m.data.(base + j) :> int) * (x.(j) :> int)) asr Fixed.frac_bits)
+      done;
+      out.(i) <- Fixed.of_raw !acc
+    done
+
+  let mul_vec m x =
+    let out = Qvec.create m.rows in
+    mul_vec_into m x out;
+    out
+end

@@ -1,0 +1,74 @@
+(** Dense vectors and matrices, in float (userspace training) and Q16.16
+    fixed point (kernel-side inference).
+
+    Matrices are row-major: [Mat.get m i j] reads row [i], column [j]. *)
+
+module Vec : sig
+  type t = float array
+
+  val create : int -> t
+  val init : int -> (int -> float) -> t
+  val copy : t -> t
+  val dim : t -> int
+  val dot : t -> t -> float
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val scale : float -> t -> t
+  val axpy : alpha:float -> x:t -> y:t -> unit
+  (** [axpy ~alpha ~x ~y] updates [y <- alpha * x + y] in place. *)
+
+  val map : (float -> float) -> t -> t
+  val max_index : t -> int
+  (** Index of the maximum element; first wins on ties. Requires [dim > 0]. *)
+
+  val l2_norm : t -> float
+  val mean : t -> float
+  val pp : Format.formatter -> t -> unit
+end
+
+module Mat : sig
+  type t
+
+  val create : rows:int -> cols:int -> t
+  val init : rows:int -> cols:int -> (int -> int -> float) -> t
+  val rows : t -> int
+  val cols : t -> int
+  val get : t -> int -> int -> float
+  val set : t -> int -> int -> float -> unit
+  val copy : t -> t
+  val row : t -> int -> Vec.t
+  val mul_vec : t -> Vec.t -> Vec.t
+  (** [mul_vec m x] is [m * x]; requires [cols m = Vec.dim x]. *)
+
+  val tmul_vec : t -> Vec.t -> Vec.t
+  (** [tmul_vec m x] is [mᵀ * x]; requires [rows m = Vec.dim x]. *)
+
+  val mul : t -> t -> t
+  val map : (float -> float) -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Qvec : sig
+  type t = Fixed.t array
+
+  val create : int -> t
+  val of_vec : Vec.t -> t
+  val to_vec : t -> Vec.t
+  val dim : t -> int
+  val dot : t -> t -> Fixed.t
+  val add_inplace : t -> t -> unit
+  val relu_inplace : t -> unit
+  val max_index : t -> int
+end
+
+module Qmat : sig
+  type t
+
+  val of_mat : Mat.t -> t
+  val rows : t -> int
+  val cols : t -> int
+  val get : t -> int -> int -> Fixed.t
+  val mul_vec : t -> Qvec.t -> Qvec.t
+  val mul_vec_into : t -> Qvec.t -> Qvec.t -> unit
+  (** [mul_vec_into m x out] writes [m * x] into [out] without allocating. *)
+end

@@ -1,0 +1,44 @@
+type t = {
+  capacity : int;
+  retrain_period : int;
+  buf : Dataset.sample option array;
+  mutable head : int; (* next slot to write *)
+  mutable len : int;
+  mutable since_retrain : int;
+}
+
+let create ~capacity ~retrain_period =
+  if capacity <= 0 then invalid_arg "Window.create: capacity must be positive";
+  if retrain_period <= 0 then invalid_arg "Window.create: retrain_period must be positive";
+  { capacity; retrain_period; buf = Array.make capacity None; head = 0; len = 0; since_retrain = 0 }
+
+let capacity t = t.capacity
+let length t = t.len
+
+let push t s =
+  t.buf.(t.head) <- Some s;
+  t.head <- (t.head + 1) mod t.capacity;
+  if t.len < t.capacity then t.len <- t.len + 1;
+  t.since_retrain <- t.since_retrain + 1
+
+let due t = t.len > 0 && t.since_retrain >= t.retrain_period
+let reset_due t = t.since_retrain <- 0
+
+let iter f t =
+  let start = (t.head - t.len + t.capacity) mod t.capacity in
+  for i = 0 to t.len - 1 do
+    match t.buf.((start + i) mod t.capacity) with
+    | Some s -> f s
+    | None -> assert false
+  done
+
+let to_dataset t ~n_features ~n_classes =
+  let ds = Dataset.create ~n_features ~n_classes in
+  iter (fun s -> Dataset.add ds s) t;
+  ds
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.head <- 0;
+  t.len <- 0;
+  t.since_retrain <- 0

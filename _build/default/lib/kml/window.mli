@@ -1,0 +1,27 @@
+(** Bounded sliding window of training samples for online learning.
+
+    The paper's prefetch pipeline "trains a new decision tree periodically
+    in the background for each time window, while discarding the old ones"
+    (§4).  [Window.t] is that time window: a ring buffer of the most recent
+    [capacity] samples plus a retrain-period counter. *)
+
+type t
+
+val create : capacity:int -> retrain_period:int -> t
+(** [retrain_period] counts [push] calls between [due] becoming true. *)
+
+val capacity : t -> int
+val length : t -> int
+val push : t -> Dataset.sample -> unit
+(** Appends a sample, evicting the oldest when full. *)
+
+val due : t -> bool
+(** True when at least [retrain_period] pushes have happened since the last
+    [reset_due] (and the window is non-empty). *)
+
+val reset_due : t -> unit
+val to_dataset : t -> n_features:int -> n_classes:int -> Dataset.t
+(** Snapshot of the window contents, oldest first. *)
+
+val clear : t -> unit
+val iter : (Dataset.sample -> unit) -> t -> unit

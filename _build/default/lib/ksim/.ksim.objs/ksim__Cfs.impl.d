@@ -1,0 +1,1 @@
+lib/ksim/cfs.ml: Array Event_queue Lb_features List Runqueue Task

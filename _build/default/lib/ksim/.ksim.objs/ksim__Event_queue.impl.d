@@ -1,0 +1,1 @@
+lib/ksim/event_queue.ml: Array Stdlib

@@ -1,0 +1,1 @@
+lib/ksim/event_queue.mli:

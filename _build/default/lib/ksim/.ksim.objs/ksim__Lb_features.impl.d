@@ -1,0 +1,1 @@
+lib/ksim/lb_features.ml: Stdlib Task

@@ -1,0 +1,1 @@
+lib/ksim/leap.ml: Array Hashtbl List Prefetcher

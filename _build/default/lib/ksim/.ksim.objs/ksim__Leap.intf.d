@@ -1,0 +1,1 @@
+lib/ksim/leap.mli: Prefetcher

@@ -1,0 +1,1 @@
+lib/ksim/mem_sim.ml: Format List Page_cache Prefetcher Swap_device

@@ -1,0 +1,1 @@
+lib/ksim/mem_sim.mli: Format Prefetcher

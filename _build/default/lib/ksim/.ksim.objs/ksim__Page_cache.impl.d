@@ -1,0 +1,1 @@
+lib/ksim/page_cache.ml: Hashtbl

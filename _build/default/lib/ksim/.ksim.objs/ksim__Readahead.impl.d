@@ -1,0 +1,1 @@
+lib/ksim/readahead.ml: Hashtbl List Prefetcher Stdlib

@@ -1,0 +1,1 @@
+lib/ksim/readahead.mli: Prefetcher

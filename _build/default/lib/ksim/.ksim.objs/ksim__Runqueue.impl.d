@@ -1,0 +1,1 @@
+lib/ksim/runqueue.ml: List Map Task

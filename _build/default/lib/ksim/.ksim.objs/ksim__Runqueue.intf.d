@@ -1,0 +1,1 @@
+lib/ksim/runqueue.mli: Task

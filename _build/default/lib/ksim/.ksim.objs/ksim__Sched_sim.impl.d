@@ -1,0 +1,1 @@
+lib/ksim/sched_sim.ml: Cfs Format Kml Lb_features List Printf Stdlib Task Workload_cpu

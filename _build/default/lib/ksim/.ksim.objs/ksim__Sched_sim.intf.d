@@ -1,0 +1,1 @@
+lib/ksim/sched_sim.mli: Cfs Format Kml

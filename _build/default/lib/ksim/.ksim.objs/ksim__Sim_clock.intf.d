@@ -1,0 +1,1 @@
+lib/ksim/sim_clock.mli:

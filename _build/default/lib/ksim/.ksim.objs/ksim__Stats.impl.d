@@ -1,0 +1,1 @@
+lib/ksim/stats.ml: Format Hashtbl List Stdlib

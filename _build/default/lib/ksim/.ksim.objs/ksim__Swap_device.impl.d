@@ -1,0 +1,1 @@
+lib/ksim/swap_device.ml: Stdlib

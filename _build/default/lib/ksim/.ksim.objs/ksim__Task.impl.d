@@ -1,0 +1,1 @@
+lib/ksim/task.ml: Format

@@ -1,0 +1,1 @@
+lib/ksim/task.mli: Format

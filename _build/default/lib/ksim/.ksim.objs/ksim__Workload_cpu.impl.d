@@ -1,0 +1,1 @@
+lib/ksim/workload_cpu.ml: List Stdlib Task

@@ -1,0 +1,1 @@
+lib/ksim/workload_cpu.mli: Task

@@ -1,0 +1,1 @@
+lib/ksim/workload_mem.ml: Array Float Hashtbl Kml List Mem_sim Stdlib

@@ -1,0 +1,1 @@
+lib/ksim/workload_mem.mli: Kml Mem_sim

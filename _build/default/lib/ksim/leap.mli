@@ -1,0 +1,22 @@
+(** Leap baseline (Al Maruf & Chowdhury, ATC '20): trend-based prefetching
+    for (remote) memory.
+
+    Leap keeps a window of recent page-access deltas per process and finds
+    the {e majority} delta with a Boyer–Moore vote.  If a majority trend
+    exists, it prefetches pages along that trend ([page + k·delta] for
+    k = 1..depth); otherwise it falls back to no prefetch.  This
+    generalizes sequential detection to constant strides — the paper's §4
+    notes Leap "extended this to detect striding patterns". *)
+
+type params = {
+  history : int;   (** delta-window length (Leap uses a small history, e.g. 32) *)
+  depth : int;     (** pages fetched along the detected trend *)
+  min_support : int; (** matches of the candidate delta required in the window *)
+}
+
+val default_params : params
+val create : ?params:params -> unit -> Prefetcher.t
+
+val majority : int array -> (int * int) option
+(** Boyer–Moore majority vote: [Some (value, support)] where [support] is
+    the number of occurrences of the winning candidate (exposed for tests). *)

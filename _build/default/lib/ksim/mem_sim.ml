@@ -1,0 +1,99 @@
+type access = { pid : int; page : int }
+
+type config = {
+  cache_pages : int;
+  cpu_ns_per_access : int;
+  swap_service_ns : int;
+  max_prefetch_per_access : int;
+}
+
+let default_config =
+  { cache_pages = 4096;
+    cpu_ns_per_access = 1_000;
+    swap_service_ns = 50_000;
+    max_prefetch_per_access = 32 }
+
+type result = {
+  prefetcher : string;
+  accesses : int;
+  faults : int;
+  partial_stalls : int;
+  prefetches_issued : int;
+  prefetches_used : int;
+  accuracy : float;
+  coverage : float;
+  completion_ns : int;
+  stall_ns : int;
+  device_reads : int;
+}
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let run ?(config = default_config) ?(reset = true) ~prefetcher trace =
+  if reset then prefetcher.Prefetcher.reset ();
+  let cache = Page_cache.create ~capacity:config.cache_pages in
+  let device = Swap_device.create ~service_time_ns:config.swap_service_ns () in
+  let now = ref 0 in
+  let faults = ref 0 and partial = ref 0 in
+  let issued = ref 0 and used = ref 0 in
+  let stall_ns = ref 0 in
+  let n = ref 0 in
+  List.iter
+    (fun { pid; page } ->
+      incr n;
+      now := !now + config.cpu_ns_per_access;
+      let hit =
+        match Page_cache.lookup cache ~page with
+        | Page_cache.Hit { ready_time; first_use_of_prefetch } ->
+          if first_use_of_prefetch then incr used;
+          if ready_time > !now then begin
+            (* Prefetch in flight: stall only for the remainder. *)
+            incr partial;
+            stall_ns := !stall_ns + (ready_time - !now);
+            now := ready_time
+          end;
+          true
+        | Page_cache.Miss ->
+          incr faults;
+          let done_at = Swap_device.read device ~now:!now in
+          stall_ns := !stall_ns + (done_at - !now);
+          now := done_at;
+          Page_cache.insert cache ~page ~origin:Page_cache.Demand ~ready_time:done_at;
+          false
+      in
+      let wanted = prefetcher.Prefetcher.on_access ~pid ~page ~hit ~now:!now in
+      let wanted = take config.max_prefetch_per_access wanted in
+      List.iter
+        (fun p ->
+          if p >= 0 && not (Page_cache.contains cache ~page:p) then begin
+            let ready = Swap_device.read device ~now:!now in
+            Page_cache.insert cache ~page:p ~origin:Page_cache.Prefetch ~ready_time:ready;
+            incr issued
+          end)
+        wanted)
+    trace;
+  let accuracy = if !issued = 0 then 0.0 else float_of_int !used /. float_of_int !issued in
+  let coverage =
+    if !used + !faults = 0 then 0.0 else float_of_int !used /. float_of_int (!used + !faults)
+  in
+  { prefetcher = prefetcher.Prefetcher.name;
+    accesses = !n;
+    faults = !faults;
+    partial_stalls = !partial;
+    prefetches_issued = !issued;
+    prefetches_used = !used;
+    accuracy;
+    coverage;
+    completion_ns = !now;
+    stall_ns = !stall_ns;
+    device_reads = Swap_device.reads_issued device }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "%-18s accesses=%d faults=%d acc=%.2f%% cov=%.2f%% completion=%.3fs stalls=%.3fs" r.prefetcher
+    r.accesses r.faults (100.0 *. r.accuracy) (100.0 *. r.coverage)
+    (float_of_int r.completion_ns /. 1e9)
+    (float_of_int r.stall_ns /. 1e9)

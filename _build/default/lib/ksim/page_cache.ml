@@ -1,0 +1,86 @@
+type origin = Demand | Prefetch
+
+type lookup =
+  | Hit of { ready_time : int; first_use_of_prefetch : bool }
+  | Miss
+
+(* Intrusive doubly-linked LRU list, most recently used at head. *)
+type node = {
+  page : int;
+  mutable ready_time : int;
+  mutable unused_prefetch : bool;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  nodes : (int, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable evicted_unused : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Page_cache.create: capacity must be positive";
+  { capacity; nodes = Hashtbl.create 1024; head = None; tail = None; evicted_unused = 0 }
+
+let capacity t = t.capacity
+let resident t = Hashtbl.length t.nodes
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  unlink t node;
+  push_front t node
+
+let lookup t ~page =
+  match Hashtbl.find_opt t.nodes page with
+  | None -> Miss
+  | Some node ->
+    touch t node;
+    let first_use_of_prefetch = node.unused_prefetch in
+    node.unused_prefetch <- false;
+    Hit { ready_time = node.ready_time; first_use_of_prefetch }
+
+let evict_one t =
+  match t.tail with
+  | None -> ()
+  | Some victim ->
+    if victim.unused_prefetch then t.evicted_unused <- t.evicted_unused + 1;
+    unlink t victim;
+    Hashtbl.remove t.nodes victim.page
+
+let insert t ~page ~origin ~ready_time =
+  match Hashtbl.find_opt t.nodes page with
+  | Some _ -> ()
+  | None ->
+    if Hashtbl.length t.nodes >= t.capacity then evict_one t;
+    let node =
+      { page;
+        ready_time;
+        unused_prefetch = (match origin with Prefetch -> true | Demand -> false);
+        prev = None;
+        next = None }
+    in
+    Hashtbl.replace t.nodes page node;
+    push_front t node
+
+let contains t ~page = Hashtbl.mem t.nodes page
+let evicted_unused_prefetches t = t.evicted_unused
+
+let clear t =
+  Hashtbl.reset t.nodes;
+  t.head <- None;
+  t.tail <- None;
+  t.evicted_unused <- 0

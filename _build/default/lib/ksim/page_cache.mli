@@ -1,0 +1,34 @@
+(** Resident-set model: a bounded page cache with LRU eviction.
+
+    Pages carry two pieces of metadata the prefetch metrics need: the time
+    the page's backing read completes ([ready_time], so a demand access to a
+    still-in-flight prefetched page stalls only for the remainder), and
+    whether the page was brought in by a prefetch and not yet used (so we
+    can classify each prefetch as useful or wasted when it is used or
+    evicted). *)
+
+type origin = Demand | Prefetch
+
+type lookup =
+  | Hit of { ready_time : int; first_use_of_prefetch : bool }
+  | Miss
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+val resident : t -> int
+val lookup : t -> page:int -> lookup
+(** Refreshes LRU recency on hit and consumes the page's "unused prefetch"
+    flag (a second access to the same prefetched page is a plain hit). *)
+
+val insert : t -> page:int -> origin:origin -> ready_time:int -> unit
+(** Adds (or refreshes) a page, evicting the LRU page when full.  If the
+    page is already resident the metadata is left unchanged (a prefetch of
+    a resident page is a no-op; callers should avoid issuing it). *)
+
+val contains : t -> page:int -> bool
+val evicted_unused_prefetches : t -> int
+(** Prefetched pages that were evicted before first use (wasted). *)
+
+val clear : t -> unit

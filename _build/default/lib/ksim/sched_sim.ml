@@ -1,0 +1,75 @@
+type result = {
+  workload : string;
+  decider : string;
+  jct_ns : int;
+  migrations : int;
+  decisions : int;
+  agreement : float;
+  mean_task_ns : float;
+}
+
+let tasks_of workload =
+  match Workload_cpu.by_name workload with
+  | Some make -> make ()
+  | None -> invalid_arg (Printf.sprintf "Sched_sim: unknown workload %s" workload)
+
+let run ?params ~workload ~decider_name decider =
+  let tasks = tasks_of workload in
+  let sched = Cfs.create ?params ~decider tasks in
+  let jct_ns = Cfs.run sched in
+  let events = Cfs.events sched in
+  let decisions = List.length events in
+  let agree =
+    List.fold_left
+      (fun acc (e : Cfs.event) -> if e.decision = e.heuristic then acc + 1 else acc)
+      0 events
+  in
+  let agreement =
+    if decisions = 0 then 1.0 else float_of_int agree /. float_of_int decisions
+  in
+  let total_task_ns =
+    List.fold_left
+      (fun acc (t : Task.t) -> acc +. float_of_int (t.Task.finish_ns - t.Task.arrival_ns))
+      0.0 (Cfs.tasks sched)
+  in
+  { workload;
+    decider = decider_name;
+    jct_ns;
+    migrations = Cfs.migrations sched;
+    decisions;
+    agreement;
+    mean_task_ns = total_task_ns /. float_of_int (Stdlib.max 1 (List.length tasks)) }
+
+let collect ?params ~workload () =
+  let tasks = tasks_of workload in
+  let sched = Cfs.create ?params ~decider:Cfs.heuristic_decider tasks in
+  let jct_ns = Cfs.run sched in
+  let events = Cfs.events sched in
+  let ds = Kml.Dataset.create ~n_features:Lb_features.n_features ~n_classes:2 in
+  List.iter
+    (fun (e : Cfs.event) ->
+      Kml.Dataset.add ds
+        { Kml.Dataset.features = e.features; label = (if e.heuristic then 1 else 0) })
+    events;
+  let decisions = List.length events in
+  let total_task_ns =
+    List.fold_left
+      (fun acc (t : Task.t) -> acc +. float_of_int (t.Task.finish_ns - t.Task.arrival_ns))
+      0.0 (Cfs.tasks sched)
+  in
+  ( ds,
+    { workload;
+      decider = "linux-cfs";
+      jct_ns;
+      migrations = Cfs.migrations sched;
+      decisions;
+      agreement = 1.0;
+      mean_task_ns = total_task_ns /. float_of_int (Stdlib.max 1 (List.length tasks)) } )
+
+let decider_of_predict predict ~features ~heuristic:_ = predict features = 1
+
+let pp_result fmt r =
+  Format.fprintf fmt "%-14s %-16s jct=%.3fs migrations=%d decisions=%d agreement=%.2f%%"
+    r.workload r.decider
+    (float_of_int r.jct_ns /. 1e9)
+    r.migrations r.decisions (100.0 *. r.agreement)

@@ -1,0 +1,49 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t name r;
+    r
+
+let incr t name = Stdlib.incr (cell t name)
+let add t name n = cell t name := !(cell t name) + n
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let names t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+let reset t = Hashtbl.reset t
+
+let pp fmt t =
+  List.iter (fun name -> Format.fprintf fmt "%s = %d@." name (get t name)) (names t)
+
+module Summary = struct
+  type s = {
+    mutable count : int;
+    mutable total : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { count = 0; total = 0.0; min = nan; max = nan }
+
+  let observe s x =
+    s.count <- s.count + 1;
+    s.total <- s.total +. x;
+    if s.count = 1 then begin
+      s.min <- x;
+      s.max <- x
+    end
+    else begin
+      if x < s.min then s.min <- x;
+      if x > s.max then s.max <- x
+    end
+
+  let count s = s.count
+  let mean s = if s.count = 0 then 0.0 else s.total /. float_of_int s.count
+  let min s = s.min
+  let max s = s.max
+  let total s = s.total
+end

@@ -1,0 +1,30 @@
+(** Named counters and simple scalar summaries used across the simulators. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+(** 0 when never touched. *)
+
+val names : t -> string list
+(** Sorted. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Streaming mean/min/max accumulator. *)
+module Summary : sig
+  type s
+
+  val create : unit -> s
+  val observe : s -> float -> unit
+  val count : s -> int
+  val mean : s -> float
+  val min : s -> float
+  (** [nan] when empty. *)
+
+  val max : s -> float
+  val total : s -> float
+end

@@ -1,0 +1,58 @@
+type state = Runnable | Running | Sleeping | Finished
+
+type t = {
+  id : int;
+  weight : int;
+  burst_ns : int;
+  sleep_ns : int;
+  arrival_ns : int;
+  total_work_ns : int;
+  mutable state : state;
+  mutable vruntime : int;
+  mutable remaining_work_ns : int;
+  mutable burst_left_ns : int;
+  mutable sleep_until_ns : int;
+  mutable cpu : int;
+  mutable last_ran_ns : int;
+  mutable runtime_ns : int;
+  mutable migrations : int;
+  mutable finish_ns : int;
+}
+
+let default_weight = 1024
+
+let create ~id ?(weight = default_weight) ?(burst_ns = max_int) ?(sleep_ns = 0)
+    ?(arrival_ns = 0) ~total_work_ns () =
+  if weight <= 0 then invalid_arg "Task.create: weight must be positive";
+  if total_work_ns <= 0 then invalid_arg "Task.create: total work must be positive";
+  if burst_ns <= 0 then invalid_arg "Task.create: burst must be positive";
+  { id;
+    weight;
+    burst_ns;
+    sleep_ns;
+    arrival_ns;
+    total_work_ns;
+    state = Runnable;
+    vruntime = 0;
+    remaining_work_ns = total_work_ns;
+    burst_left_ns = burst_ns;
+    sleep_until_ns = 0;
+    cpu = -1;
+    last_ran_ns = 0;
+    runtime_ns = 0;
+    migrations = 0;
+    finish_ns = -1 }
+
+let is_sleeper t = t.sleep_ns > 0
+
+let charge t dt =
+  if dt < 0 then invalid_arg "Task.charge: negative time";
+  t.remaining_work_ns <- t.remaining_work_ns - dt;
+  t.burst_left_ns <- t.burst_left_ns - dt;
+  t.runtime_ns <- t.runtime_ns + dt;
+  (* vruntime advances inversely to weight, as in CFS. *)
+  t.vruntime <- t.vruntime + (dt * default_weight / t.weight)
+
+let pp fmt t =
+  Format.fprintf fmt "task%d(w=%d, rem=%dus, cpu=%d, mig=%d)" t.id t.weight
+    (t.remaining_work_ns / 1000) t.cpu t.migrations

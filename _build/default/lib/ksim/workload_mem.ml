@@ -1,0 +1,233 @@
+type access = Mem_sim.access
+
+let mk pid page = { Mem_sim.pid; page }
+
+let sequential ~pid ~start ~n = List.init n (fun i -> mk pid (start + i))
+let strided ~pid ~start ~stride ~n = List.init n (fun i -> mk pid (start + (i * stride)))
+
+let random ~rng ~pid ~pages ~n =
+  if pages <= 0 then invalid_arg "Workload_mem.random: pages must be positive";
+  List.init n (fun _ -> mk pid (Kml.Rng.int rng pages))
+
+let zipf ~rng ~pid ~pages ~n ?(exponent = 1.1) () =
+  if pages <= 0 then invalid_arg "Workload_mem.zipf: pages must be positive";
+  (* Inverse-CDF sampling over ranks 1..pages with P(r) ∝ r^-exponent. *)
+  let weights = Array.init pages (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) exponent) in
+  let cdf = Array.make pages 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cdf.(i) <- !acc)
+    weights;
+  let total = !acc in
+  let sample () =
+    let u = Kml.Rng.uniform rng *. total in
+    let lo = ref 0 and hi = ref (pages - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  List.init n (fun _ -> mk pid (sample ()))
+
+(* ------------------------------------------------------------------ *)
+(* Video resize                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type video_params = {
+  frames : int;
+  frame_pages : int;
+  group : int;
+  guard_pages : int;
+  noise_pct : int;
+}
+
+let default_video =
+  { frames = 400; frame_pages = 6; group = 3; guard_pages = 26; noise_pct = 6 }
+
+(* Planar frame layout (Y/U/V): within a frame the three planes are read
+   interleaved in groups — a short sequential burst per plane, a hop to the
+   next plane (constant delta within a frame), then an output write into a
+   small circular buffer (usually cache-resident).  Each plane-frame region
+   is followed by a never-accessed guard zone, so prefetching past the end
+   of a frame is genuinely wasted — the waste mechanism that separates the
+   prefetchers.  Optional noise models background activity (cloud sync, UI)
+   touching random heap pages. *)
+let video_resize ?(params = default_video) ?(rng = Kml.Rng.create 7) ~pid () =
+  if params.frames < 1 || params.frame_pages < params.group || params.group < 1 then
+    invalid_arg "Workload_mem.video_resize: invalid parameters";
+  let planes = 3 in
+  let region = params.frame_pages + params.guard_pages in
+  let out_base = planes * region * (params.frames + 2) in
+  let out_buf = 32 in
+  let noise_base = 2 * out_base in
+  let noise_pages = 4096 in
+  let acc = ref [] in
+  let push page = acc := mk pid page :: !acc in
+  let out_pos = ref 0 in
+  for f = 0 to params.frames - 1 do
+    (* Content-dependent row batching: the number of pages consumed per
+       group varies around [group] (motion/complexity differs across the
+       frame), so the interleave period is irregular. *)
+    let consumed = ref 0 in
+    while !consumed < params.frame_pages do
+      let glen =
+        let jitter = Kml.Rng.int rng 3 - 1 in
+        Stdlib.max 1 (Stdlib.min (params.frame_pages - !consumed) (params.group + jitter))
+      in
+      for plane = 0 to planes - 1 do
+        let plane_base = ((f * planes) + plane) * region in
+        for i = 0 to glen - 1 do
+          push (plane_base + !consumed + i)
+        done
+      done;
+      consumed := !consumed + glen;
+      push (out_base + (!out_pos mod out_buf));
+      incr out_pos;
+      if params.noise_pct > 0 && Kml.Rng.int rng 100 < params.noise_pct then
+        push (noise_base + Kml.Rng.int rng noise_pages)
+    done
+  done;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Matrix convolution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type conv_params = {
+  matrix_rows : int;
+  row_stride : int;
+  n_columns : int;
+  col_advance : int;
+  pair_rows : int;
+  out_run : int;
+  checkpoint_every : int;
+  checkpoint_run : int;
+}
+
+let default_conv =
+  { matrix_rows = 8;
+    row_stride = 64;
+    n_columns = 1200;
+    col_advance = 67;
+    pair_rows = 2;
+    out_run = 3;
+    checkpoint_every = 100;
+    checkpoint_run = 8 }
+
+(* im2col-style column sweeps over a row-major matrix: each column walk
+   strides by [row_stride]; the first [pair_rows] rows gather two adjacent
+   pages (a short false-sequential burst that baits sequential readahead),
+   the remainder single pages.  Columns advance by [col_advance] (coprime
+   to the stride) so pages stay cold.  Each column ends with writes into a
+   circular output buffer, and every [checkpoint_every] columns a fresh
+   sequential checkpoint run is flushed — the only truly sequential I/O in
+   the workload. *)
+let matrix_conv ?(params = default_conv) ~pid () =
+  if params.matrix_rows < 2 || params.row_stride < 2 || params.n_columns < 1 then
+    invalid_arg "Workload_mem.matrix_conv: invalid parameters";
+  if params.pair_rows > params.matrix_rows then
+    invalid_arg "Workload_mem.matrix_conv: pair_rows exceeds matrix_rows";
+  let out_base = 1 lsl 28 in
+  let out_buf = 32 in
+  let ckpt_base = 1 lsl 29 in
+  let ckpt_pos = ref 0 in
+  let acc = ref [] in
+  let push page = acc := mk pid page :: !acc in
+  for c = 0 to params.n_columns - 1 do
+    let base = c * params.col_advance in
+    for r = 0 to params.matrix_rows - 1 do
+      push (base + (r * params.row_stride));
+      if r < params.pair_rows then push (base + (r * params.row_stride) + 1)
+    done;
+    for k = 0 to params.out_run - 1 do
+      push (out_base + (((c * params.out_run) + k) mod out_buf))
+    done;
+    if params.checkpoint_every > 0 && (c + 1) mod params.checkpoint_every = 0 then
+      for _ = 1 to params.checkpoint_run do
+        push (ckpt_base + !ckpt_pos);
+        incr ckpt_pos
+      done
+  done;
+  List.rev !acc
+
+let concat = List.concat
+
+let footprint trace =
+  let seen = Hashtbl.create 4096 in
+  List.iter (fun { Mem_sim.page; _ } -> Hashtbl.replace seen page ()) trace;
+  Hashtbl.length seen
+
+let length = List.length
+
+(* ------------------------------------------------------------------ *)
+(* Multi-file streams                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type file_kind = Sequential_file | Strided_file of int | Reversed_file
+
+type file_streams_params = {
+  n_files : int;
+  pages_per_file : int;
+  burst : int;
+  kinds : file_kind array;
+}
+
+let default_file_streams =
+  { n_files = 6;
+    pages_per_file = 1500;
+    burst = 4;
+    kinds = [| Sequential_file; Strided_file 7; Reversed_file |] }
+
+let file_streams ?(params = default_file_streams) ~rng () =
+  if params.n_files < 1 || params.pages_per_file < 1 || params.burst < 1 then
+    invalid_arg "Workload_mem.file_streams: invalid parameters";
+  if Array.length params.kinds = 0 then
+    invalid_arg "Workload_mem.file_streams: need at least one file kind";
+  let file_gap = 1 lsl 22 in
+  (* Per-file cursor: how many of its accesses have been emitted. *)
+  let emitted = Array.make params.n_files 0 in
+  let page_of file i =
+    let base = (file + 1) * file_gap in
+    match params.kinds.(file mod Array.length params.kinds) with
+    | Sequential_file -> base + i
+    | Strided_file stride -> base + (i * stride)
+    | Reversed_file -> base + params.pages_per_file - 1 - i
+  in
+  let acc = ref [] in
+  let remaining = ref (params.n_files * params.pages_per_file) in
+  while !remaining > 0 do
+    (* pick a file that still has pages, weighted uniformly *)
+    let live =
+      Array.to_list
+        (Array.mapi (fun f n -> (f, n)) emitted)
+      |> List.filter (fun (_, n) -> n < params.pages_per_file)
+      |> List.map fst
+    in
+    let file = List.nth live (Kml.Rng.int rng (List.length live)) in
+    let burst =
+      Stdlib.min (1 + Kml.Rng.int rng params.burst) (params.pages_per_file - emitted.(file))
+    in
+    for k = 0 to burst - 1 do
+      acc := mk (file + 1) (page_of file (emitted.(file) + k)) :: !acc
+    done;
+    emitted.(file) <- emitted.(file) + burst;
+    remaining := !remaining - burst
+  done;
+  List.rev !acc
+
+let retag trace ~pid = List.map (fun a -> { a with Mem_sim.pid }) trace
+
+let producer_consumer ~rng ?(n = 4000) ?(lag = 4) ?(delta = 1 lsl 20) ?(pages = 200_000)
+    ~producer ~consumer () =
+  if lag < 1 || n < 1 || pages < 1 then
+    invalid_arg "Workload_mem.producer_consumer: invalid parameters";
+  let walk = Array.init n (fun _ -> Kml.Rng.int rng pages) in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    acc := mk producer walk.(i) :: !acc;
+    if i >= lag then acc := mk consumer (walk.(i - lag) + delta) :: !acc
+  done;
+  List.rev !acc

@@ -1,0 +1,1 @@
+lib/rmt/asm.ml: Array Buffer Format Hashtbl Helper Insn Kml List Map_store Printf Program String

@@ -1,0 +1,1 @@
+lib/rmt/asm.mli: Format Helper Program

@@ -1,0 +1,1 @@
+lib/rmt/builder.ml: Hashtbl Insn List Map_store Program

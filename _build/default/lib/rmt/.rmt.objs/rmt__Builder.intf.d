@@ -1,0 +1,1 @@
+lib/rmt/builder.mli: Insn Map_store Program

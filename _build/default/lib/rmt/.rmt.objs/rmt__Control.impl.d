@@ -1,0 +1,1 @@
+lib/rmt/control.ml: Array Asm Encoding Format Hashtbl Helper Kml List Loaded Map_store Model_store Option Pipeline Printf Program Table Verifier Vm

@@ -1,0 +1,1 @@
+lib/rmt/control.mli: Ctxt Format Helper Kml Model_store Pipeline Program Table Verifier Vm

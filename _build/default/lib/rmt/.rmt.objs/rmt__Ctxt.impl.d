@@ -1,0 +1,1 @@
+lib/rmt/ctxt.ml: Array Format Hashtbl List Printf String

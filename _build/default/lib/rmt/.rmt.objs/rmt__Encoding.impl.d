@@ -1,0 +1,1 @@
+lib/rmt/encoding.ml: Array Buffer Bytes Char Insn Kml List Map_store Printf Program String

@@ -1,0 +1,1 @@
+lib/rmt/helper.ml: Array Ctxt Stdlib

@@ -1,0 +1,1 @@
+lib/rmt/insn.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/rmt/interp.ml: Array Ctxt Guardrail Helper Insn Kml Loaded Map_store Model_store Privacy Program Verifier

@@ -1,0 +1,1 @@
+lib/rmt/interp.mli: Ctxt Loaded

@@ -1,0 +1,1 @@
+lib/rmt/jit.ml: Array Ctxt Guardrail Hashtbl Helper Insn Interp Kml Loaded Map_store Model_store Privacy Program

@@ -1,0 +1,1 @@
+lib/rmt/jit.mli: Ctxt Interp Loaded

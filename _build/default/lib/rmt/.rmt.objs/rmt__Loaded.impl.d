@@ -1,0 +1,1 @@
+lib/rmt/loaded.ml: Array Guardrail Helper Kml Map_store Model_store Privacy Program Stdlib

@@ -1,0 +1,1 @@
+lib/rmt/loaded.mli: Guardrail Helper Kml Map_store Model_store Privacy Program

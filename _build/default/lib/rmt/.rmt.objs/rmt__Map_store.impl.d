@@ -1,0 +1,1 @@
+lib/rmt/map_store.ml: Array Format Hashtbl Stdlib

@@ -1,0 +1,1 @@
+lib/rmt/model_store.ml: Array Kml Stdlib

@@ -1,0 +1,1 @@
+lib/rmt/model_store.mli: Kml

@@ -1,0 +1,1 @@
+lib/rmt/pipeline.ml: Format Hashtbl List Table

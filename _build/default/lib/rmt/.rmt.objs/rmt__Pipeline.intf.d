@@ -1,0 +1,1 @@
+lib/rmt/pipeline.mli: Ctxt Format Table

@@ -1,0 +1,1 @@
+lib/rmt/privacy.ml: Kml

@@ -1,0 +1,1 @@
+lib/rmt/program.ml: Array Format Insn Kml List Map_store

@@ -1,0 +1,1 @@
+lib/rmt/program.mli: Format Insn Kml Map_store

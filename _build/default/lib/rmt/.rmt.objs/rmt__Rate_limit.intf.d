@@ -1,0 +1,1 @@
+lib/rmt/rate_limit.mli:

@@ -1,0 +1,1 @@
+lib/rmt/table.ml: Array Ctxt Format Interp List Option String Vm

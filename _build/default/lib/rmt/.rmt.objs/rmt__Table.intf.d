@@ -1,0 +1,1 @@
+lib/rmt/table.mli: Ctxt Format Vm

@@ -1,0 +1,1 @@
+lib/rmt/verifier.ml: Array Format Helper Insn Kml List Program

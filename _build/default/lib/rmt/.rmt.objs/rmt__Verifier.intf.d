@@ -1,0 +1,1 @@
+lib/rmt/verifier.mli: Format Helper Kml Program

@@ -1,0 +1,1 @@
+lib/rmt/vm.ml: Guardrail Interp Jit Loaded Privacy Program Rate_limit

@@ -1,0 +1,1 @@
+lib/rmt/vm.mli: Ctxt Interp Loaded

@@ -1,0 +1,143 @@
+type t = {
+  helpers : Helper.t;
+  store : Model_store.t;
+  pipeline : Pipeline.t;
+  programs : (string, Vm.t) Hashtbl.t;
+  tables : (string, Table.t) Hashtbl.t;
+  mutable clock : unit -> int;
+  mutable program_order : string list;
+  mutable table_order : string list;
+  default_engine : Vm.engine;
+  limits : Verifier.limits;
+  rng : Kml.Rng.t;
+}
+
+let create ?(engine = Vm.Jit_compiled) ?(limits = Verifier.default_limits) ?(seed = 0x5eed) () =
+  { helpers = Helper.with_defaults ();
+    store = Model_store.create ();
+    pipeline = Pipeline.create ();
+    programs = Hashtbl.create 16;
+    tables = Hashtbl.create 16;
+    clock = (fun () -> 0);
+    program_order = [];
+    table_order = [];
+    default_engine = engine;
+    limits;
+    rng = Kml.Rng.create seed }
+
+let helpers t = t.helpers
+let models t = t.store
+let pipeline t = t.pipeline
+let set_clock t clock = t.clock <- clock
+let now t = t.clock ()
+let register_model t ~name model = Model_store.register t.store ~name model
+
+let update_model t ~name model =
+  match Model_store.find t.store name with
+  | None -> Error (Printf.sprintf "update_model: no model named %s" name)
+  | Some handle ->
+    (match Model_store.replace t.store handle model with
+     | () -> Ok ()
+     | exception Invalid_argument msg -> Error msg)
+
+let install t ?engine ?(budget = Kml.Model_cost.default_budget) ?(model_names = [])
+    (prog : Program.t) =
+  let engine = Option.value engine ~default:t.default_engine in
+  let n_slots = Array.length prog.model_arity in
+  if List.length model_names <> n_slots then
+    Error
+      (Printf.sprintf "install %s: program declares %d model slots, %d names given" prog.name
+         n_slots (List.length model_names))
+  else begin
+    let resolve name =
+      match Model_store.find t.store name with
+      | Some h -> Ok h
+      | None -> Error (Printf.sprintf "install %s: unknown model %s" prog.name name)
+    in
+    let rec resolve_all = function
+      | [] -> Ok []
+      | name :: rest ->
+        (match resolve name with
+         | Error _ as e -> e
+         | Ok h ->
+           (match resolve_all rest with Error _ as e -> e | Ok hs -> Ok (h :: hs)))
+    in
+    match resolve_all model_names with
+    | Error e -> Error e
+    | Ok handles ->
+      let handles = Array.of_list handles in
+      let model_costs =
+        Array.map (fun h -> Model_store.cost (Model_store.model t.store h)) handles
+      in
+      (match Verifier.check ~limits:t.limits ~budget ~helpers:t.helpers ~model_costs prog with
+       | Error v ->
+         Error (Printf.sprintf "verifier rejected %s: %s" prog.name
+                  (Verifier.violation_to_string v))
+       | Ok _report ->
+         let maps = Array.map Map_store.create prog.map_specs in
+         (match
+            Loaded.link ~rng:(Kml.Rng.split t.rng) ~store:t.store ~helpers:t.helpers ~maps
+              ~models:handles prog
+          with
+          | loaded ->
+            let vm = Vm.create ~engine loaded in
+            if not (Hashtbl.mem t.programs prog.name) then
+              t.program_order <- t.program_order @ [ prog.name ];
+            Hashtbl.replace t.programs prog.name vm;
+            Ok vm
+          | exception Invalid_argument msg -> Error msg))
+  end
+
+let install_asm t ?engine ?budget ?model_names source =
+  match Asm.parse ~helpers:t.helpers source with
+  | Error e -> Error (Format.asprintf "%a" Asm.pp_error e)
+  | Ok prog -> install t ?engine ?budget ?model_names prog
+
+let install_bytes t ?engine ?budget ?model_names data =
+  match Encoding.decode data with
+  | Error e -> Error ("decode: " ^ e)
+  | Ok prog -> install t ?engine ?budget ?model_names prog
+
+let find_program t name = Hashtbl.find_opt t.programs name
+
+let remove_program t name =
+  if Hashtbl.mem t.programs name then begin
+    Hashtbl.remove t.programs name;
+    t.program_order <- List.filter (fun n -> n <> name) t.program_order;
+    true
+  end
+  else false
+
+let bind_tail_call t ~caller ~slot ~callee =
+  match (find_program t caller, find_program t callee) with
+  | None, _ -> Error (Printf.sprintf "bind_tail_call: unknown caller %s" caller)
+  | _, None -> Error (Printf.sprintf "bind_tail_call: unknown callee %s" callee)
+  | Some cvm, Some tvm ->
+    (match Loaded.bind_tail_call (Vm.loaded cvm) ~slot (Vm.loaded tvm) with
+     | () -> Ok ()
+     | exception Invalid_argument msg -> Error msg)
+
+let create_table t ~name ~match_keys ~default =
+  let table = Table.create ~name ~match_keys ~default in
+  if not (Hashtbl.mem t.tables name) then t.table_order <- t.table_order @ [ name ];
+  Hashtbl.replace t.tables name table;
+  table
+
+let find_table t name = Hashtbl.find_opt t.tables name
+let attach t ~hook table = Pipeline.attach t.pipeline ~hook table
+let fire t ~hook ~ctxt = Pipeline.fire t.pipeline ~hook ~ctxt ~now:t.clock
+let program_names t = t.program_order
+let table_names t = t.table_order
+
+let pp fmt t =
+  Format.fprintf fmt "control plane: %d programs, %d tables, %d models@."
+    (List.length t.program_order) (List.length t.table_order) (Model_store.count t.store);
+  List.iter
+    (fun name ->
+      match find_program t name with
+      | Some vm ->
+        Format.fprintf fmt "  program %s: %d invocations, %d steps@." name (Vm.invocations vm)
+          (Vm.total_steps vm)
+      | None -> ())
+    t.program_order;
+  Pipeline.pp fmt t.pipeline

@@ -1,0 +1,80 @@
+(** Control plane (§3.1 "Updating RMT entries").
+
+    This module simulates the [syscall_rmt] surface: userland produces an
+    RMT program (built with {!Builder} or assembled from text), the control
+    plane verifies it against the kernel's helper registry and the bound
+    models' measured costs, links it, and exposes it to tables and hooks.
+    At runtime the same surface supports the paper's reconfiguration loop:
+    adding/removing table entries, swapping retrained models in place, and
+    switching execution engines. *)
+
+type t
+
+val create : ?engine:Vm.engine -> ?limits:Verifier.limits -> ?seed:int -> unit -> t
+(** Fresh kernel-side state: default helper registry, empty model store,
+    empty pipeline.  [seed] drives DP noise and any program randomness. *)
+
+val helpers : t -> Helper.t
+val models : t -> Model_store.t
+val pipeline : t -> Pipeline.t
+
+val set_clock : t -> (unit -> int) -> unit
+(** Wire the simulated clock (nanoseconds).  Defaults to a constant 0. *)
+
+val now : t -> int
+
+(** {2 Models} *)
+
+val register_model : t -> name:string -> Model_store.model -> Model_store.handle
+val update_model : t -> name:string -> Model_store.model -> (unit, string) result
+(** Swap a retrained model into its slot; programs referencing the slot pick
+    it up on their next invocation (no reinstall). *)
+
+(** {2 Programs} *)
+
+val install :
+  t ->
+  ?engine:Vm.engine ->
+  ?budget:Kml.Model_cost.budget ->
+  ?model_names:string list ->
+  Program.t ->
+  (Vm.t, string) result
+(** The install syscall: bind model slots (by registered name, in slot
+    order), run {!Verifier.check} with the bound models' costs, link and
+    wrap in a {!Vm}.  The program is registered under its name; reinstalling
+    a name replaces it. *)
+
+val install_asm :
+  t ->
+  ?engine:Vm.engine ->
+  ?budget:Kml.Model_cost.budget ->
+  ?model_names:string list ->
+  string ->
+  (Vm.t, string) result
+
+val install_bytes :
+  t ->
+  ?engine:Vm.engine ->
+  ?budget:Kml.Model_cost.budget ->
+  ?model_names:string list ->
+  bytes ->
+  (Vm.t, string) result
+(** The wire-format install syscall: decode ({!Encoding}), then verify and
+    link exactly as {!install}. *)
+
+val find_program : t -> string -> Vm.t option
+val remove_program : t -> string -> bool
+val bind_tail_call : t -> caller:string -> slot:int -> callee:string -> (unit, string) result
+
+(** {2 Tables and hooks} *)
+
+val create_table : t -> name:string -> match_keys:int array -> default:Table.action -> Table.t
+val find_table : t -> string -> Table.t option
+val attach : t -> hook:string -> Table.t -> unit
+val fire : t -> hook:string -> ctxt:Ctxt.t -> int option
+
+(** {2 Introspection} *)
+
+val program_names : t -> string list
+val table_names : t -> string list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type t = { table : (int, int) Hashtbl.t; mutable reads : int }
+
+let create () = { table = Hashtbl.create 32; reads = 0 }
+let clear t = Hashtbl.reset t.table
+
+let set t key value =
+  if key < 0 then invalid_arg "Ctxt.set: negative key";
+  Hashtbl.replace t.table key value
+
+let get t key =
+  t.reads <- t.reads + 1;
+  match Hashtbl.find_opt t.table key with Some v -> v | None -> 0
+
+let mem t key = Hashtbl.mem t.table key
+let remove t key = Hashtbl.remove t.table key
+
+let set_range t ~base values =
+  Array.iteri (fun i v -> set t (base + i) v) values
+
+let get_range t ~base ~len = Array.init len (fun i -> get t (base + i))
+let reads t = t.reads
+let reset_reads t = t.reads <- 0
+
+let of_list bindings =
+  let t = create () in
+  List.iter (fun (k, v) -> set t k v) bindings;
+  t
+
+let pp fmt t =
+  let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [] in
+  let sorted = List.sort compare bindings in
+  Format.fprintf fmt "{%s}"
+    (String.concat "; " (List.map (fun (k, v) -> Printf.sprintf "%d=%d" k v) sorted))

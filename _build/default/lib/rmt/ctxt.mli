@@ -1,0 +1,32 @@
+(** Execution context ([RMT_CTXT], §3.1): the key/value view of kernel
+    monitoring state that table matches and actions read.
+
+    Keys are small integers assigned by the hook that fires the pipeline
+    (e.g. key 0 = pid, key 1 = faulting page, keys 8.. = recent access
+    deltas).  Reads of absent keys return 0, making verified programs
+    total.  A per-context read counter supports the lean-monitoring
+    experiments: it counts exactly how many monitor words each invocation
+    consumed. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+val set : t -> int -> int -> unit
+(** Raises [Invalid_argument] on a negative key. *)
+
+val get : t -> int -> int
+(** 0 when absent. *)
+
+val mem : t -> int -> bool
+val remove : t -> int -> unit
+val set_range : t -> base:int -> int array -> unit
+(** [set_range t ~base values] sets keys [base..base + len - 1]. *)
+
+val get_range : t -> base:int -> len:int -> int array
+val reads : t -> int
+(** Number of [get]/[get_range] key reads since [reset_reads]. *)
+
+val reset_reads : t -> unit
+val of_list : (int * int) list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type t = { lo : int; hi : int; mutable violations : int }
+
+let create ~lo ~hi =
+  if lo > hi then invalid_arg "Guardrail.create: lo > hi";
+  { lo; hi; violations = 0 }
+
+let apply t v =
+  if v < t.lo then begin
+    t.violations <- t.violations + 1;
+    t.lo
+  end
+  else if v > t.hi then begin
+    t.violations <- t.violations + 1;
+    t.hi
+  end
+  else v
+
+let violations t = t.violations
+let lo t = t.lo
+let hi t = t.hi

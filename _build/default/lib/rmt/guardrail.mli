@@ -1,0 +1,15 @@
+(** Output guardrails for blackbox models (§3.3 "Model safety"): clamp an
+    action result to an admissible range and count how often the raw model
+    output fell outside it — a cheap runtime monitor for model drift. *)
+
+type t
+
+val create : lo:int -> hi:int -> t
+(** Raises [Invalid_argument] when [lo > hi]. *)
+
+val apply : t -> int -> int
+val violations : t -> int
+(** Number of [apply] calls whose input required clamping. *)
+
+val lo : t -> int
+val hi : t -> int

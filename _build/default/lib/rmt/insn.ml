@@ -1,0 +1,109 @@
+type reg = int
+
+let n_registers = 16
+
+type alu =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor | Shl | Shr
+  | Min | Max
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Ld_imm of reg * int
+  | Mov of reg * reg
+  | Alu of alu * reg * reg
+  | Alu_imm of alu * reg * int
+  | Ld_ctxt of reg * reg
+  | Ld_ctxt_k of reg * int
+  | St_ctxt of int * reg
+  | St_ctxt_r of reg * reg
+  | Map_lookup of reg * int * reg
+  | Map_update of int * reg * reg
+  | Map_delete of int * reg
+  | Ring_push of int * reg
+  | Jmp of int
+  | Jcond of cond * reg * reg * int
+  | Jcond_imm of cond * reg * int * int
+  | Rep of int * int
+  | Call of int
+  | Call_ml of int * int * int
+  | Vec_ld_ctxt of int * int * int
+  | Vec_ld_map of int * int * reg * int
+  | Vec_st_reg of int * reg
+  | Vec_ld_reg of reg * int
+  | Vec_i2f of int * int
+  | Mat_mul of int * int * int
+  | Vec_add_const of int * int
+  | Vec_relu of int * int
+  | Vec_argmax of reg * int * int
+  | Tail_call of int
+  | Exit
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "mod"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+  | Min -> "min" | Max -> "max"
+
+let cond_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let eval_alu op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Mod -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 62)
+  | Shr -> a asr (b land 62)
+  | Min -> Stdlib.min a b
+  | Max -> Stdlib.max a b
+
+let eval_cond op a b =
+  match op with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let pp fmt = function
+  | Ld_imm (rd, imm) -> Format.fprintf fmt "ldimm r%d, %d" rd imm
+  | Mov (rd, rs) -> Format.fprintf fmt "mov r%d, r%d" rd rs
+  | Alu (op, rd, rs) -> Format.fprintf fmt "%s r%d, r%d" (alu_name op) rd rs
+  | Alu_imm (op, rd, imm) -> Format.fprintf fmt "%si r%d, %d" (alu_name op) rd imm
+  | Ld_ctxt (rd, rk) -> Format.fprintf fmt "ldctxt r%d, [r%d]" rd rk
+  | Ld_ctxt_k (rd, key) -> Format.fprintf fmt "ldctxtk r%d, %d" rd key
+  | St_ctxt (key, rs) -> Format.fprintf fmt "stctxt %d, r%d" key rs
+  | St_ctxt_r (rk, rs) -> Format.fprintf fmt "stctxtr [r%d], r%d" rk rs
+  | Map_lookup (rd, slot, rk) -> Format.fprintf fmt "mlookup r%d, map%d[r%d]" rd slot rk
+  | Map_update (slot, rk, rv) -> Format.fprintf fmt "mupdate map%d[r%d], r%d" slot rk rv
+  | Map_delete (slot, rk) -> Format.fprintf fmt "mdelete map%d[r%d]" slot rk
+  | Ring_push (slot, rv) -> Format.fprintf fmt "rpush map%d, r%d" slot rv
+  | Jmp off -> Format.fprintf fmt "jmp +%d" off
+  | Jcond (c, ra, rb, off) -> Format.fprintf fmt "j%s r%d, r%d, +%d" (cond_name c) ra rb off
+  | Jcond_imm (c, ra, imm, off) ->
+    Format.fprintf fmt "j%si r%d, %d, +%d" (cond_name c) ra imm off
+  | Rep (count, body) -> Format.fprintf fmt "rep %d, %d" count body
+  | Call id -> Format.fprintf fmt "call %d" id
+  | Call_ml (slot, off, len) -> Format.fprintf fmt "callml model%d, v[%d..%d)" slot off (off + len)
+  | Vec_ld_ctxt (dst, key, len) ->
+    Format.fprintf fmt "vldctxt v[%d..%d), ctxt[%d..]" dst (dst + len) key
+  | Vec_ld_map (dst, slot, rk, len) ->
+    Format.fprintf fmt "vldmap v[%d..%d), map%d[r%d..]" dst (dst + len) slot rk
+  | Vec_st_reg (off, rs) -> Format.fprintf fmt "vst v[%d], r%d" off rs
+  | Vec_ld_reg (rd, off) -> Format.fprintf fmt "vld r%d, v[%d]" rd off
+  | Vec_i2f (off, len) -> Format.fprintf fmt "vi2f v[%d..%d)" off (off + len)
+  | Mat_mul (dst, cid, src) -> Format.fprintf fmt "matmul v[%d..], const%d, v[%d..]" dst cid src
+  | Vec_add_const (dst, cid) -> Format.fprintf fmt "vaddc v[%d..], const%d" dst cid
+  | Vec_relu (off, len) -> Format.fprintf fmt "vrelu v[%d..%d)" off (off + len)
+  | Vec_argmax (rd, off, len) -> Format.fprintf fmt "vargmax r%d, v[%d..%d)" rd off (off + len)
+  | Tail_call slot -> Format.fprintf fmt "tailcall prog%d" slot
+  | Exit -> Format.fprintf fmt "exit"
+
+let to_string insn = Format.asprintf "%a" pp insn

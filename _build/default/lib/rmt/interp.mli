@@ -1,0 +1,21 @@
+(** Bytecode interpreter (§3.1: "the program runs in the virtual machine in
+    interpreted mode").
+
+    Semantics are total for verified programs: division/modulo by zero
+    yield 0, absent context/map keys read 0, denied privacy queries read 0,
+    and tail calls to unbound slots (or beyond the depth limit) terminate
+    with result 0.  The interpreter still carries a fuel counter as
+    defence-in-depth; exhausting it — impossible for verified programs —
+    raises [Fuel_exhausted]. *)
+
+exception Fuel_exhausted
+
+type outcome = {
+  result : int;          (** r0 at [Exit], post-guardrail *)
+  steps : int;           (** dynamic instructions executed (incl. tail-callees) *)
+  privacy_denied : int;  (** aggregate queries denied during this run *)
+}
+
+val run : ?fuel:int -> Loaded.t -> ctxt:Ctxt.t -> now:(unit -> int) -> outcome
+(** Default fuel: {!Verifier.default_limits}[.max_steps × (tail-call depth
+    limit + 1)]. *)

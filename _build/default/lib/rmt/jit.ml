@@ -1,0 +1,285 @@
+type st = {
+  regs : int array;
+  mutable ctxt : Ctxt.t;
+  mutable now : unit -> int;
+  mutable steps : int;
+  mutable denied : int;
+  mutable tail_slot : int;
+  mutable result : int;
+}
+
+(* Closure protocol: each compiled instruction takes the run state and
+   returns the next pc, or a sentinel: [exit_pc] (program finished, result
+   in [st.result]) or [tail_pc] (tail call, slot in [st.tail_slot]). *)
+let exit_pc = -1
+let tail_pc = -2
+
+type unit_code = { closures : (st -> int) array; loaded : Loaded.t }
+type compiled = { root : unit_code; cache : (string, unit_code) Hashtbl.t }
+
+let fix_mul a b = Kml.Fixed.to_raw (Kml.Fixed.mul (Kml.Fixed.of_raw a) (Kml.Fixed.of_raw b))
+let fix_add a b = Kml.Fixed.to_raw (Kml.Fixed.add (Kml.Fixed.of_raw a) (Kml.Fixed.of_raw b))
+
+let compile_unit (loaded : Loaded.t) : unit_code =
+  let code = loaded.prog.Program.code in
+  let vmem = loaded.vmem in
+  let n = Array.length code in
+  (* Forward reference so Rep bodies can re-enter the driver loop. *)
+  let exec_range_ref = ref (fun _st _lo _hi -> 0) in
+  let module I = Insn in
+  let compile_insn pc insn =
+    match insn with
+    | I.Ld_imm (rd, imm) -> fun st -> st.regs.(rd) <- imm; pc + 1
+    | I.Mov (rd, rs) -> fun st -> st.regs.(rd) <- st.regs.(rs); pc + 1
+    | I.Alu (op, rd, rs) ->
+      fun st ->
+        st.regs.(rd) <- Insn.eval_alu op st.regs.(rd) st.regs.(rs);
+        pc + 1
+    | I.Alu_imm (op, rd, imm) ->
+      fun st ->
+        st.regs.(rd) <- Insn.eval_alu op st.regs.(rd) imm;
+        pc + 1
+    | I.Ld_ctxt (rd, rk) ->
+      fun st ->
+        st.regs.(rd) <- Ctxt.get st.ctxt st.regs.(rk);
+        pc + 1
+    | I.Ld_ctxt_k (rd, key) ->
+      fun st ->
+        st.regs.(rd) <- Ctxt.get st.ctxt key;
+        pc + 1
+    | I.St_ctxt (key, rs) ->
+      fun st ->
+        Ctxt.set st.ctxt key st.regs.(rs);
+        pc + 1
+    | I.St_ctxt_r (rk, rs) ->
+      fun st ->
+        let key = st.regs.(rk) in
+        if key >= 0 then Ctxt.set st.ctxt key st.regs.(rs);
+        pc + 1
+    | I.Map_lookup (rd, slot, rk) ->
+      let map = loaded.maps.(slot) in
+      fun st ->
+        st.regs.(rd) <- Map_store.lookup map st.regs.(rk);
+        pc + 1
+    | I.Map_update (slot, rk, rv) ->
+      let map = loaded.maps.(slot) in
+      fun st ->
+        Map_store.update map ~key:st.regs.(rk) ~value:st.regs.(rv);
+        pc + 1
+    | I.Map_delete (slot, rk) ->
+      let map = loaded.maps.(slot) in
+      fun st ->
+        Map_store.delete map st.regs.(rk);
+        pc + 1
+    | I.Ring_push (slot, rv) ->
+      let map = loaded.maps.(slot) in
+      fun st ->
+        Map_store.push map st.regs.(rv);
+        pc + 1
+    | I.Jmp off ->
+      let target = pc + 1 + off in
+      fun _st -> target
+    | I.Jcond (c, ra, rb, off) ->
+      let target = pc + 1 + off in
+      fun st -> if Insn.eval_cond c st.regs.(ra) st.regs.(rb) then target else pc + 1
+    | I.Jcond_imm (c, ra, imm, off) ->
+      let target = pc + 1 + off in
+      fun st -> if Insn.eval_cond c st.regs.(ra) imm then target else pc + 1
+    | I.Rep (count, body_len) ->
+      let body_lo = pc + 1 and body_hi = pc + body_len in
+      fun st ->
+        let rec loop k =
+          if k = 0 then pc + 1 + body_len
+          else begin
+            let res = !exec_range_ref st body_lo body_hi in
+            if res < 0 then res else loop (k - 1)
+          end
+        in
+        loop count
+    | I.Call id ->
+      let arity = Helper.arity loaded.helpers id in
+      let cost = Helper.privacy_cost loaded.helpers id in
+      fun st ->
+        let env =
+          { Helper.ctxt = st.ctxt;
+            now = st.now;
+            random = (fun () -> Kml.Rng.next loaded.rng) }
+        in
+        let args = Array.init arity (fun i -> st.regs.(i + 1)) in
+        let raw = Helper.invoke loaded.helpers id env args in
+        let result =
+          if cost = 0 then raw
+          else begin
+            match loaded.privacy with
+            | None ->
+              st.denied <- st.denied + 1;
+              0
+            | Some acct ->
+              (match
+                 Privacy.noisy_result acct ~rng:loaded.rng ~cost_milli:cost ~sensitivity:1 raw
+               with
+               | Some noisy -> noisy
+               | None ->
+                 st.denied <- st.denied + 1;
+                 0)
+          end
+        in
+        st.regs.(0) <- result;
+        for r = 1 to 5 do
+          st.regs.(r) <- 0
+        done;
+        pc + 1
+    | I.Call_ml (slot, off, len) ->
+      let handle = loaded.models.(slot) in
+      fun st ->
+        let features = Array.sub vmem off len in
+        st.regs.(0) <- Model_store.predict loaded.store handle features;
+        for r = 1 to 5 do
+          st.regs.(r) <- 0
+        done;
+        pc + 1
+    | I.Vec_ld_ctxt (dst, key, len) ->
+      fun st ->
+        for i = 0 to len - 1 do
+          vmem.(dst + i) <- Ctxt.get st.ctxt (key + i)
+        done;
+        pc + 1
+    | I.Vec_ld_map (dst, slot, rk, len) ->
+      let map = loaded.maps.(slot) in
+      fun st ->
+        let base = st.regs.(rk) in
+        for i = 0 to len - 1 do
+          vmem.(dst + i) <- Map_store.lookup map (base + i)
+        done;
+        pc + 1
+    | I.Vec_st_reg (off, rs) ->
+      fun st ->
+        vmem.(off) <- st.regs.(rs);
+        pc + 1
+    | I.Vec_ld_reg (rd, off) ->
+      fun st ->
+        st.regs.(rd) <- vmem.(off);
+        pc + 1
+    | I.Vec_i2f (off, len) ->
+      fun _st ->
+        for i = 0 to len - 1 do
+          vmem.(off + i) <- Kml.Fixed.to_raw (Kml.Fixed.of_int vmem.(off + i))
+        done;
+        pc + 1
+    | I.Mat_mul (dst, cid, src) ->
+      let c = loaded.prog.Program.consts.(cid) in
+      let data = loaded.consts.(cid) in
+      let rows = c.Program.rows and cols = c.Program.cols in
+      fun _st ->
+        let x = Array.sub vmem src cols in
+        for i = 0 to rows - 1 do
+          let acc = ref 0 in
+          for j = 0 to cols - 1 do
+            acc := fix_add !acc (fix_mul data.((i * cols) + j) x.(j))
+          done;
+          vmem.(dst + i) <- !acc
+        done;
+        pc + 1
+    | I.Vec_add_const (dst, cid) ->
+      let c = loaded.prog.Program.consts.(cid) in
+      let data = loaded.consts.(cid) in
+      fun _st ->
+        for i = 0 to c.Program.cols - 1 do
+          vmem.(dst + i) <- fix_add vmem.(dst + i) data.(i)
+        done;
+        pc + 1
+    | I.Vec_relu (off, len) ->
+      fun _st ->
+        for i = 0 to len - 1 do
+          if vmem.(off + i) < 0 then vmem.(off + i) <- 0
+        done;
+        pc + 1
+    | I.Vec_argmax (rd, off, len) ->
+      fun st ->
+        let best = ref 0 in
+        for i = 1 to len - 1 do
+          if vmem.(off + i) > vmem.(off + !best) then best := i
+        done;
+        st.regs.(rd) <- !best;
+        pc + 1
+    | I.Tail_call slot ->
+      fun st ->
+        st.tail_slot <- slot;
+        tail_pc
+    | I.Exit ->
+      fun st ->
+        let r0 = st.regs.(0) in
+        st.result <-
+          (match loaded.guardrail with Some g -> Guardrail.apply g r0 | None -> r0);
+        exit_pc
+  in
+  let closures = Array.init n (fun pc -> compile_insn pc code.(pc)) in
+  let exec_range st lo hi =
+    let pc = ref lo in
+    while !pc >= 0 && !pc <= hi do
+      st.steps <- st.steps + 1;
+      pc := closures.(!pc) st
+    done;
+    !pc
+  in
+  exec_range_ref := exec_range;
+  { closures; loaded }
+
+let compile loaded =
+  let root = compile_unit loaded in
+  let cache = Hashtbl.create 4 in
+  Hashtbl.replace cache (Loaded.name loaded) root;
+  { root; cache }
+
+let get_unit t loaded =
+  let key = Loaded.name loaded in
+  match Hashtbl.find_opt t.cache key with
+  | Some u when u.loaded == loaded -> u
+  | Some _ | None ->
+    let u = compile_unit loaded in
+    Hashtbl.replace t.cache key u;
+    u
+
+let max_tail_depth = 32
+
+let run t ~ctxt ~now =
+  let st =
+    { regs = Array.make Insn.n_registers 0;
+      ctxt;
+      now;
+      steps = 0;
+      denied = 0;
+      tail_slot = 0;
+      result = 0 }
+  in
+  let rec run_unit (u : unit_code) depth =
+    let loaded = u.loaded in
+    Array.fill loaded.Loaded.vmem 0 (Array.length loaded.Loaded.vmem) 0;
+    Array.fill st.regs 0 Insn.n_registers 0;
+    st.result <- 0;
+    let final =
+      let pc = ref 0 in
+      let hi = Array.length u.closures - 1 in
+      while !pc >= 0 && !pc <= hi do
+        st.steps <- st.steps + 1;
+        pc := u.closures.(!pc) st
+      done;
+      !pc
+    in
+    if final = tail_pc then begin
+      if depth >= max_tail_depth then 0
+      else begin
+        match loaded.Loaded.prog_table.(st.tail_slot) with
+        | Some target -> run_unit (get_unit t target) (depth + 1)
+        | None -> 0
+      end
+    end
+    else if final = exit_pc then st.result
+    else 0 (* fell off the end: impossible for verified programs *)
+  in
+  let result = run_unit t.root 0 in
+  t.root.loaded.Loaded.runs <- t.root.loaded.Loaded.runs + 1;
+  t.root.loaded.Loaded.total_steps <- t.root.loaded.Loaded.total_steps + st.steps;
+  { Interp.result; steps = st.steps; privacy_denied = st.denied }
+
+let loaded t = t.root.loaded

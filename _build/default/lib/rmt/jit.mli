@@ -1,0 +1,20 @@
+(** "JIT" compilation of RMT bytecode (§3.1: "the RMT bytecode can further
+    be JIT compiled directly to machine code for efficiency").
+
+    In this OCaml reproduction, JIT = ahead-of-time translation of each
+    instruction into an OCaml closure, eliminating per-step instruction
+    decode.  Semantics are identical to {!Interp} (the test suite checks
+    this differentially on random verified programs); only the dispatch
+    cost differs, which is exactly the interpreted-vs-compiled distinction
+    the paper's architecture cares about. *)
+
+type compiled
+
+val compile : Loaded.t -> compiled
+(** Compile once; the result may be run many times.  The compiled code
+    reads the loaded instance's maps/models/privacy state at run time, so
+    control-plane updates (entry changes, model swaps) take effect without
+    recompilation. *)
+
+val run : compiled -> ctxt:Ctxt.t -> now:(unit -> int) -> Interp.outcome
+val loaded : compiled -> Loaded.t

@@ -1,0 +1,57 @@
+type t = {
+  prog : Program.t;
+  maps : Map_store.t array;
+  models : Model_store.handle array;
+  store : Model_store.t;
+  helpers : Helper.t;
+  prog_table : t option array;
+  privacy : Privacy.account option;
+  guardrail : Guardrail.t option;
+  rng : Kml.Rng.t;
+  consts : int array array;
+  vmem : int array;
+  mutable runs : int;
+  mutable total_steps : int;
+}
+
+let link ?(rng = Kml.Rng.create 0x5eed) ~store ~helpers ~maps ~models (prog : Program.t) =
+  if Array.length maps <> Array.length prog.map_specs then
+    invalid_arg "Loaded.link: map slot count mismatch";
+  if Array.length models <> Array.length prog.model_arity then
+    invalid_arg "Loaded.link: model slot count mismatch";
+  Array.iteri
+    (fun slot handle ->
+      let arity = Model_store.n_features (Model_store.model store handle) in
+      if arity <> prog.model_arity.(slot) then
+        invalid_arg "Loaded.link: bound model feature arity mismatch")
+    models;
+  let privacy =
+    match Program.privacy_budget prog with
+    | Some epsilon_milli -> Some (Privacy.create ~epsilon_milli)
+    | None -> None
+  in
+  let guardrail =
+    match Program.guarded prog with
+    | Some (lo, hi) -> Some (Guardrail.create ~lo ~hi)
+    | None -> None
+  in
+  { prog;
+    maps;
+    models;
+    store;
+    helpers;
+    prog_table = Array.make (Stdlib.max 1 prog.n_prog_slots) None;
+    privacy;
+    guardrail;
+    rng;
+    consts = Array.map (fun (c : Program.const) -> c.data) prog.consts;
+    vmem = Array.make (Stdlib.max 1 prog.vmem_size) 0;
+    runs = 0;
+    total_steps = 0 }
+
+let bind_tail_call t ~slot target =
+  if slot < 0 || slot >= t.prog.Program.n_prog_slots then
+    invalid_arg "Loaded.bind_tail_call: slot out of range";
+  t.prog_table.(slot) <- Some target
+
+let name t = t.prog.Program.name

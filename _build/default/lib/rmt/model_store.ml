@@ -1,0 +1,78 @@
+type model =
+  | Tree of Kml.Decision_tree.t
+  | Qmlp of Kml.Quantize.Qmlp.t
+  | Svm of Kml.Linear.Svm.t
+  | Fn of { n_features : int; cost : Kml.Model_cost.t; f : int array -> int }
+
+type slot = { name : string; mutable model : model; mutable invocations : int }
+type t = { mutable slots : slot array; mutable len : int }
+type handle = int
+
+let create () = { slots = [||]; len = 0 }
+
+let n_features = function
+  | Tree tree -> Kml.Decision_tree.n_features tree
+  | Qmlp q -> Kml.Quantize.Qmlp.n_features q
+  | Svm svm -> Kml.Linear.Svm.n_features svm
+  | Fn { n_features; _ } -> n_features
+
+let cost = function
+  | Tree tree -> Kml.Model_cost.of_tree tree
+  | Qmlp q -> Kml.Model_cost.of_qmlp q
+  | Svm svm -> Kml.Model_cost.of_svm svm
+  | Fn { cost; _ } -> cost
+
+let register t ~name model =
+  if t.len >= Array.length t.slots then begin
+    let cap = Stdlib.max 8 (2 * Array.length t.slots) in
+    let bigger = Array.make cap { name = ""; model; invocations = 0 } in
+    Array.blit t.slots 0 bigger 0 t.len;
+    t.slots <- bigger
+  end;
+  let h = t.len in
+  t.slots.(h) <- { name; model; invocations = 0 };
+  t.len <- t.len + 1;
+  h
+
+let check t h name =
+  if h < 0 || h >= t.len then invalid_arg ("Model_store." ^ name ^ ": invalid handle")
+
+let replace t h model =
+  check t h "replace";
+  let slot = t.slots.(h) in
+  if n_features model <> n_features slot.model then
+    invalid_arg "Model_store.replace: feature arity mismatch";
+  slot.model <- model
+
+let find t name =
+  let rec go i = if i >= t.len then None else if t.slots.(i).name = name then Some i else go (i + 1) in
+  go 0
+
+let name t h =
+  check t h "name";
+  t.slots.(h).name
+
+let model t h =
+  check t h "model";
+  t.slots.(h).model
+
+let id h = h
+let handle_of_id t i = if i >= 0 && i < t.len then Some i else None
+
+let predict t h features =
+  check t h "predict";
+  let slot = t.slots.(h) in
+  if Array.length features <> n_features slot.model then
+    invalid_arg "Model_store.predict: feature arity mismatch";
+  slot.invocations <- slot.invocations + 1;
+  match slot.model with
+  | Tree tree -> Kml.Decision_tree.predict tree features
+  | Qmlp q -> Kml.Quantize.Qmlp.predict q features
+  | Svm svm -> Kml.Linear.Svm.predict svm features
+  | Fn { f; _ } -> f features
+
+let invocations t h =
+  check t h "invocations";
+  t.slots.(h).invocations
+
+let count t = t.len

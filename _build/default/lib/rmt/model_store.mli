@@ -1,0 +1,35 @@
+(** Registered kernel ML models invoked by [Call_ml] (§3.2).
+
+    A model takes an integer feature vector and returns a class index.  The
+    store records each model's static cost so the verifier can admit or
+    reject programs that reference it, and counts invocations for the
+    overhead experiments.  Models are mutable slots: the control plane
+    swaps in retrained models at runtime without reloading programs. *)
+
+type model =
+  | Tree of Kml.Decision_tree.t
+  | Qmlp of Kml.Quantize.Qmlp.t
+  | Svm of Kml.Linear.Svm.t
+  | Fn of { n_features : int; cost : Kml.Model_cost.t; f : int array -> int }
+      (** Escape hatch for tests and custom actions; cost must be declared. *)
+
+type t
+type handle
+
+val create : unit -> t
+val register : t -> name:string -> model -> handle
+val replace : t -> handle -> model -> unit
+(** Swap the model in a slot (same feature arity required). *)
+
+val find : t -> string -> handle option
+val name : t -> handle -> string
+val model : t -> handle -> model
+val id : handle -> int
+val handle_of_id : t -> int -> handle option
+val n_features : model -> int
+val cost : model -> Kml.Model_cost.t
+val predict : t -> handle -> int array -> int
+(** Raises [Invalid_argument] on arity mismatch. *)
+
+val invocations : t -> handle -> int
+val count : t -> int

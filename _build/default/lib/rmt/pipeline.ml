@@ -1,0 +1,56 @@
+type hook_state = { mutable tables : Table.t list; mutable firings : int }
+
+type t = {
+  hooks : (string, hook_state) Hashtbl.t;
+  mutable order : string list; (* first-attach order, newest last *)
+}
+
+let create () = { hooks = Hashtbl.create 16; order = [] }
+
+let state t hook =
+  match Hashtbl.find_opt t.hooks hook with
+  | Some s -> s
+  | None ->
+    let s = { tables = []; firings = 0 } in
+    Hashtbl.replace t.hooks hook s;
+    t.order <- t.order @ [ hook ];
+    s
+
+let attach t ~hook table =
+  let s = state t hook in
+  s.tables <- s.tables @ [ table ]
+
+let detach t ~hook ~name =
+  match Hashtbl.find_opt t.hooks hook with
+  | None -> false
+  | Some s ->
+    let before = List.length s.tables in
+    s.tables <- List.filter (fun tbl -> Table.name tbl <> name) s.tables;
+    List.length s.tables < before
+
+let tables_at t ~hook =
+  match Hashtbl.find_opt t.hooks hook with Some s -> s.tables | None -> []
+
+let hooks t = List.filter (fun h -> tables_at t ~hook:h <> []) t.order
+
+let fire_all t ~hook ~ctxt ~now =
+  match Hashtbl.find_opt t.hooks hook with
+  | None -> []
+  | Some s ->
+    if s.tables <> [] then s.firings <- s.firings + 1;
+    List.map (fun table -> Table.lookup table ~ctxt ~now) s.tables
+
+let fire t ~hook ~ctxt ~now =
+  match List.rev (fire_all t ~hook ~ctxt ~now) with
+  | [] -> None
+  | last :: _ -> Some last
+
+let firings t ~hook =
+  match Hashtbl.find_opt t.hooks hook with Some s -> s.firings | None -> 0
+
+let pp fmt t =
+  List.iter
+    (fun hook ->
+      Format.fprintf fmt "hook %s (%d firings):@." hook (firings t ~hook);
+      List.iter (fun table -> Format.fprintf fmt "  %a" Table.pp table) (tables_at t ~hook))
+    (hooks t)

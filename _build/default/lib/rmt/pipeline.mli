@@ -1,0 +1,30 @@
+(** Pipelines bind match/action tables to named kernel hook points
+    ("each table represents a kernel hooking point", §3.1).
+
+    A hook point is identified by a string (e.g. ["lookup_swap_cache"],
+    ["can_migrate_task"]).  Several tables may attach to one hook; they
+    fire in attach order and the {e last} table's action result is the
+    hook's decision (earlier tables are typically data-collection stages
+    whose result is ignored, mirroring the paper's two-stage prefetch
+    pipeline). *)
+
+type t
+
+val create : unit -> t
+val attach : t -> hook:string -> Table.t -> unit
+val detach : t -> hook:string -> name:string -> bool
+(** Detach a table by name; [false] when absent. *)
+
+val tables_at : t -> hook:string -> Table.t list
+val hooks : t -> string list
+(** All hooks with at least one table, in first-attach order. *)
+
+val fire : t -> hook:string -> ctxt:Ctxt.t -> now:(unit -> int) -> int option
+(** Run the hook's tables; [None] when nothing is attached.  The result is
+    the last table's action result. *)
+
+val fire_all : t -> hook:string -> ctxt:Ctxt.t -> now:(unit -> int) -> int list
+(** All action results, in table order. *)
+
+val firings : t -> hook:string -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type account = {
+  budget_milli : int;
+  mutable spent_milli : int;
+  mutable denials : int;
+}
+
+let create ~epsilon_milli =
+  if epsilon_milli < 0 then invalid_arg "Privacy.create: negative budget";
+  { budget_milli = epsilon_milli; spent_milli = 0; denials = 0 }
+
+let remaining_milli t = t.budget_milli - t.spent_milli
+let spent_milli t = t.spent_milli
+let denials t = t.denials
+
+type grant = Granted of { epsilon_milli : int } | Denied
+
+let charge t ~cost_milli =
+  if cost_milli <= 0 then invalid_arg "Privacy.charge: cost must be positive";
+  if remaining_milli t >= cost_milli then begin
+    t.spent_milli <- t.spent_milli + cost_milli;
+    Granted { epsilon_milli = cost_milli }
+  end
+  else begin
+    t.denials <- t.denials + 1;
+    Denied
+  end
+
+(* Two-sided geometric mechanism: X = G1 - G2 where Gi ~ Geometric(1 - alpha)
+   and alpha = exp(-epsilon / sensitivity).  Provides epsilon-DP for integer
+   queries of the given L1 sensitivity. *)
+let noise ~rng ~epsilon_milli ~sensitivity =
+  if epsilon_milli <= 0 then invalid_arg "Privacy.noise: epsilon must be positive";
+  if sensitivity <= 0 then invalid_arg "Privacy.noise: sensitivity must be positive";
+  let alpha = exp (-.(float_of_int epsilon_milli /. 1000.0) /. float_of_int sensitivity) in
+  let p = 1.0 -. alpha in
+  let g1 = Kml.Rng.geometric rng ~p and g2 = Kml.Rng.geometric rng ~p in
+  g1 - g2
+
+let noisy_result t ~rng ~cost_milli ~sensitivity v =
+  match charge t ~cost_milli with
+  | Denied -> None
+  | Granted { epsilon_milli } -> Some (v + noise ~rng ~epsilon_milli ~sensitivity)

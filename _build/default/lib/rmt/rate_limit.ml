@@ -1,0 +1,42 @@
+let ns_per_sec = 1_000_000_000
+
+type t = {
+  tokens_per_sec : int;
+  burst : int;
+  mutable tokens_ns : int; (* scaled by ns_per_sec to avoid fractional tokens *)
+  mutable last_refill : int;
+  mutable throttled : int;
+}
+
+let create ~tokens_per_sec ~burst ~now =
+  if tokens_per_sec <= 0 then invalid_arg "Rate_limit.create: tokens_per_sec must be positive";
+  if burst <= 0 then invalid_arg "Rate_limit.create: burst must be positive";
+  { tokens_per_sec; burst; tokens_ns = burst * ns_per_sec; last_refill = now; throttled = 0 }
+
+let refill t ~now =
+  if now > t.last_refill then begin
+    let elapsed = now - t.last_refill in
+    let gained = elapsed * t.tokens_per_sec in
+    t.tokens_ns <- Stdlib.min (t.burst * ns_per_sec) (t.tokens_ns + gained);
+    t.last_refill <- now
+  end
+
+let available t ~now =
+  refill t ~now;
+  t.tokens_ns / ns_per_sec
+
+let grant t ~now ~request =
+  refill t ~now;
+  let request = Stdlib.max 0 request in
+  let avail = t.tokens_ns / ns_per_sec in
+  let granted = Stdlib.min request avail in
+  t.tokens_ns <- t.tokens_ns - (granted * ns_per_sec);
+  t.throttled <- t.throttled + (request - granted);
+  granted
+
+let throttled t = t.throttled
+
+let reset t ~now =
+  t.tokens_ns <- t.burst * ns_per_sec;
+  t.last_refill <- now;
+  t.throttled <- 0

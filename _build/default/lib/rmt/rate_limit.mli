@@ -1,0 +1,25 @@
+(** Token-bucket rate limiter (§3.3 "Performance interference").
+
+    The verifier "may insert additional logic to enforce rate limits" on
+    programs whose actions request resources (prefetch pages, migrations).
+    {!Control} wraps the action result of such programs through a bucket:
+    the result is interpreted as a request for N units and is clamped to
+    what the bucket grants.  Time comes from the simulated clock, in
+    nanoseconds. *)
+
+type t
+
+val create : tokens_per_sec:int -> burst:int -> now:int -> t
+(** Raises [Invalid_argument] unless both parameters are positive. *)
+
+val grant : t -> now:int -> request:int -> int
+(** [grant t ~now ~request] refills the bucket for elapsed time, then grants
+    [min request available] tokens (never negative). *)
+
+val available : t -> now:int -> int
+val throttled : t -> int
+(** Cumulative units refused so far. *)
+
+val reset : t -> now:int -> unit
+(** Refill to a full burst and restart accounting at [now] (simulated
+    clocks may restart between experiment runs). *)

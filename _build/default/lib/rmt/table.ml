@@ -1,0 +1,139 @@
+type pattern =
+  | Any
+  | Eq of int
+  | Mask of { value : int; mask : int }
+  | Between of int * int
+
+type action =
+  | Run of Vm.t
+  | Const of int
+  | Host of (Ctxt.t -> int)
+
+type entry_id = int
+
+type entry = {
+  id : entry_id;
+  priority : int;
+  seq : int; (* insertion order; earlier wins among equal priorities *)
+  patterns : pattern array;
+  mutable action : action;
+  mutable hits : int;
+}
+
+type t = {
+  name : string;
+  match_keys : int array;
+  default : action;
+  mutable entries : entry list; (* kept sorted: priority desc, seq asc *)
+  mutable next_id : int;
+  mutable next_seq : int;
+  mutable total_hits : int;
+  mutable default_hits : int;
+}
+
+let create ~name ~match_keys ~default =
+  { name;
+    match_keys = Array.copy match_keys;
+    default;
+    entries = [];
+    next_id = 0;
+    next_seq = 0;
+    total_hits = 0;
+    default_hits = 0 }
+
+let name t = t.name
+let match_keys t = Array.copy t.match_keys
+
+let entry_order a b =
+  match compare b.priority a.priority with 0 -> compare a.seq b.seq | c -> c
+
+let insert t ?(priority = 0) ~patterns action =
+  if Array.length patterns <> Array.length t.match_keys then
+    invalid_arg "Table.insert: pattern arity must match the table's match keys";
+  let entry =
+    { id = t.next_id;
+      priority;
+      seq = t.next_seq;
+      patterns = Array.copy patterns;
+      action;
+      hits = 0 }
+  in
+  t.next_id <- t.next_id + 1;
+  t.next_seq <- t.next_seq + 1;
+  t.entries <- List.sort entry_order (entry :: t.entries);
+  entry.id
+
+let remove t id =
+  let before = List.length t.entries in
+  t.entries <- List.filter (fun e -> e.id <> id) t.entries;
+  List.length t.entries < before
+
+let set_action t id action =
+  match List.find_opt (fun e -> e.id = id) t.entries with
+  | Some e ->
+    e.action <- action;
+    true
+  | None -> false
+
+let entry_count t = List.length t.entries
+
+let pattern_matches p v =
+  match p with
+  | Any -> true
+  | Eq x -> v = x
+  | Mask { value; mask } -> v land mask = value land mask
+  | Between (lo, hi) -> v >= lo && v <= hi
+
+let entry_matches fields e =
+  let n = Array.length fields in
+  let rec go i = i >= n || (pattern_matches e.patterns.(i) fields.(i) && go (i + 1)) in
+  go 0
+
+let find_entry t ~ctxt =
+  let fields = Array.map (fun k -> Ctxt.get ctxt k) t.match_keys in
+  List.find_opt (entry_matches fields) t.entries
+
+let run_action action ~ctxt ~now =
+  match action with
+  | Run vm -> (Vm.invoke vm ~ctxt ~now).Interp.result
+  | Const v -> v
+  | Host f -> f ctxt
+
+let lookup t ~ctxt ~now =
+  t.total_hits <- t.total_hits + 1;
+  match find_entry t ~ctxt with
+  | Some e ->
+    e.hits <- e.hits + 1;
+    run_action e.action ~ctxt ~now
+  | None ->
+    t.default_hits <- t.default_hits + 1;
+    run_action t.default ~ctxt ~now
+
+let lookup_entry t ~ctxt = Option.map (fun e -> e.id) (find_entry t ~ctxt)
+let hits t = t.total_hits
+let default_hits t = t.default_hits
+
+let entry_hits t id =
+  match List.find_opt (fun e -> e.id = id) t.entries with Some e -> e.hits | None -> 0
+
+let clear t =
+  t.entries <- [];
+  t.total_hits <- 0;
+  t.default_hits <- 0
+
+let pp_pattern fmt = function
+  | Any -> Format.fprintf fmt "*"
+  | Eq v -> Format.fprintf fmt "=%d" v
+  | Mask { value; mask } -> Format.fprintf fmt "&%x=%x" mask value
+  | Between (lo, hi) -> Format.fprintf fmt "[%d..%d]" lo hi
+
+let pp fmt t =
+  Format.fprintf fmt "table %s (keys=[%s], %d entries, %d hits, %d default)@." t.name
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.match_keys)))
+    (entry_count t) t.total_hits t.default_hits;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  #%d prio=%d hits=%d [%s]@." e.id e.priority e.hits
+        (String.concat "; "
+           (Array.to_list (Array.map (Format.asprintf "%a" pp_pattern) e.patterns))))
+    t.entries

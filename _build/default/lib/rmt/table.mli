@@ -1,0 +1,51 @@
+(** Match/action tables (§3.1).
+
+    A table is installed at a kernel decision point.  It declares which
+    execution-context fields it matches on (e.g. key 0 = pid); each entry
+    carries one pattern per field, a priority, and an action.  Lookup reads
+    the declared fields from the {!Ctxt}, selects the highest-priority
+    matching entry (insertion order breaks ties), and runs its action.
+    Entries can be inserted and removed at runtime through the control
+    plane — "statically encoded in the RMT program or dynamically inserted
+    or removed via an API at runtime". *)
+
+type pattern =
+  | Any
+  | Eq of int
+  | Mask of { value : int; mask : int }  (** matches when [field land mask = value land mask] *)
+  | Between of int * int                 (** inclusive range *)
+
+type action =
+  | Run of Vm.t           (** execute a loaded RMT program; result = r0 *)
+  | Const of int          (** constant action result *)
+  | Host of (Ctxt.t -> int)  (** host-native action (tests, baselines) *)
+
+type entry_id
+type t
+
+val create : name:string -> match_keys:int array -> default:action -> t
+(** [match_keys] are the ctxt keys this table matches on. *)
+
+val name : t -> string
+val match_keys : t -> int array
+val insert : t -> ?priority:int -> patterns:pattern array -> action -> entry_id
+(** Default priority 0; higher wins.  Raises [Invalid_argument] if the
+    pattern arity differs from the table's match keys. *)
+
+val remove : t -> entry_id -> bool
+val set_action : t -> entry_id -> action -> bool
+val entry_count : t -> int
+val lookup : t -> ctxt:Ctxt.t -> now:(unit -> int) -> int
+(** Match and run the action; falls back to the default action. *)
+
+val lookup_entry : t -> ctxt:Ctxt.t -> entry_id option
+(** Which entry would fire, without running its action. *)
+
+val hits : t -> int
+val default_hits : t -> int
+(** Lookups that fell through to the default action. *)
+
+val entry_hits : t -> entry_id -> int
+val clear : t -> unit
+val pattern_matches : pattern -> int -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type engine = Interpreted | Jit_compiled
+
+type t = {
+  loaded : Loaded.t;
+  mutable engine : engine;
+  mutable compiled : Jit.compiled option;
+  (* The limiter needs a creation timestamp, which is only known at the
+     first invocation; hence the deferred initialization below. *)
+  mutable limiter_state : Rate_limit.t option;
+  mutable limiter_initialized : bool;
+}
+
+let create ?(engine = Jit_compiled) loaded =
+  { loaded;
+    engine;
+    compiled = (match engine with Jit_compiled -> Some (Jit.compile loaded) | Interpreted -> None);
+    limiter_state = None;
+    limiter_initialized = false }
+
+let engine t = t.engine
+
+let set_engine t e =
+  t.engine <- e;
+  match e with
+  | Jit_compiled -> if t.compiled = None then t.compiled <- Some (Jit.compile t.loaded)
+  | Interpreted -> ()
+
+let loaded t = t.loaded
+
+let limiter_for t ~now =
+  if not t.limiter_initialized then begin
+    t.limiter_initialized <- true;
+    t.limiter_state <-
+      (match Program.rate_limited t.loaded.Loaded.prog with
+       | Some (tokens_per_sec, burst) ->
+         Some (Rate_limit.create ~tokens_per_sec ~burst ~now:(now ()))
+       | None -> None)
+  end;
+  t.limiter_state
+
+let invoke t ~ctxt ~now =
+  let outcome =
+    match t.engine with
+    | Interpreted -> Interp.run t.loaded ~ctxt ~now
+    | Jit_compiled ->
+      let compiled =
+        match t.compiled with
+        | Some c -> c
+        | None ->
+          let c = Jit.compile t.loaded in
+          t.compiled <- Some c;
+          c
+      in
+      Jit.run compiled ~ctxt ~now
+  in
+  match limiter_for t ~now with
+  | None -> outcome
+  | Some bucket ->
+    let granted = Rate_limit.grant bucket ~now:(now ()) ~request:outcome.Interp.result in
+    { outcome with Interp.result = granted }
+
+let invocations t = t.loaded.Loaded.runs
+let total_steps t = t.loaded.Loaded.total_steps
+
+let throttled_units t =
+  match t.limiter_state with Some bucket -> Rate_limit.throttled bucket | None -> 0
+
+let guardrail_violations t =
+  match t.loaded.Loaded.guardrail with Some g -> Guardrail.violations g | None -> 0
+
+let privacy_remaining_milli t =
+  match t.loaded.Loaded.privacy with
+  | Some acct -> Some (Privacy.remaining_milli acct)
+  | None -> None

@@ -1,0 +1,32 @@
+(** Execution engine wrapper: one loaded program, runnable interpreted or
+    JIT compiled, with the program's declared policy guards applied to its
+    action results.
+
+    Guardrails are applied inside the engines (at [Exit]); the token-bucket
+    rate limiter, when declared, is applied here: the action result is
+    treated as a resource request for N units and clamped to the grant
+    (§3.3 "Performance interference"). *)
+
+type engine = Interpreted | Jit_compiled
+
+type t
+
+val create : ?engine:engine -> Loaded.t -> t
+(** Default engine: [Jit_compiled]. *)
+
+val engine : t -> engine
+val set_engine : t -> engine -> unit
+(** Switching to [Jit_compiled] (re)compiles. *)
+
+val loaded : t -> Loaded.t
+val invoke : t -> ctxt:Ctxt.t -> now:(unit -> int) -> Interp.outcome
+(** Run once.  When the program declares [Rate_limited], the outcome's
+    [result] is the number of granted units (<= the program's request). *)
+
+val invocations : t -> int
+val total_steps : t -> int
+val throttled_units : t -> int
+(** Units refused by the rate limiter so far (0 when not rate limited). *)
+
+val guardrail_violations : t -> int
+val privacy_remaining_milli : t -> int option

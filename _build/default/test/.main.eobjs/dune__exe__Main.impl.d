@@ -1,0 +1,1 @@
+test/main.ml: Alcotest List Test_encoding Test_extensions Test_fixed Test_kml Test_ksim Test_misc Test_models Test_more Test_rkd Test_rmt_infra Test_rmt_vm Test_sched

@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Array Bytes Char Kml QCheck2 QCheck_alcotest Rmt Test_rmt_vm

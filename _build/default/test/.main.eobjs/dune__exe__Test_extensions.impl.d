@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Kml Ksim List Printf Rkd

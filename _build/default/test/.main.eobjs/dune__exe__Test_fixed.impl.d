@@ -1,0 +1,1 @@
+test/test_fixed.ml: Alcotest Fixed Float Kml List Printf QCheck2 QCheck_alcotest

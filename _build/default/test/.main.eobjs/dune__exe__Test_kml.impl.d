@@ -1,0 +1,1 @@
+test/test_kml.ml: Alcotest Array Dataset Fixed Float Fun Hashtbl Kml List Metrics Printf QCheck2 QCheck_alcotest Rng Tensor Window

@@ -1,0 +1,1 @@
+test/test_ksim.ml: Alcotest Hashtbl Kml Ksim List Option QCheck2 QCheck_alcotest

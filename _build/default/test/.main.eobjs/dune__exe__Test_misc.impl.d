@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Kml Ksim List Printf Result Rkd Rmt String

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Dataset Decision_tree Distill Feature_rank Float Kml Linear List Metrics Mlp Model_cost Nas Printf QCheck2 QCheck_alcotest Quantize Rng

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Kml Ksim Result Rmt

@@ -1,0 +1,1 @@
+test/test_rkd.ml: Alcotest Array Float Fun Kml Ksim List Option Printf Rkd Rmt

@@ -1,0 +1,1 @@
+test/test_rmt_infra.ml: Alcotest Builder Control Ctxt Insn Interp Kml Printf QCheck2 QCheck_alcotest Result Rmt Stdlib String Vm

@@ -1,0 +1,1 @@
+test/test_rmt_vm.ml: Alcotest Array Format Kml List Printf QCheck2 QCheck_alcotest Result Rmt Stdlib String

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "rkd"
+    (List.concat
+       [ Test_fixed.suite;
+         Test_kml.suite;
+         Test_models.suite;
+         Test_rmt_vm.suite;
+         Test_rmt_infra.suite;
+         Test_ksim.suite;
+         Test_sched.suite;
+         Test_rkd.suite;
+         Test_misc.suite;
+         Test_encoding.suite;
+         Test_extensions.suite;
+         Test_more.suite ])

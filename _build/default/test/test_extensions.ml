@@ -1,0 +1,216 @@
+(* Tests for the extension layer: the multi-file workload and match
+   granularity, and the cross-application producer/consumer monitor. *)
+
+(* ---------------- file_streams workload ---------------- *)
+
+let test_file_streams_structure () =
+  let rng = Kml.Rng.create 1 in
+  let params =
+    { Ksim.Workload_mem.default_file_streams with n_files = 3; pages_per_file = 100 }
+  in
+  let trace = Ksim.Workload_mem.file_streams ~params ~rng () in
+  Alcotest.(check int) "total accesses" 300 (Ksim.Workload_mem.length trace);
+  (* every access belongs to one of the three inodes *)
+  List.iter
+    (fun { Ksim.Mem_sim.pid; _ } ->
+      Alcotest.(check bool) "inode in range" true (pid >= 1 && pid <= 3))
+    trace;
+  (* per-inode subsequences follow their declared pattern *)
+  let per_inode inode =
+    List.filter_map
+      (fun { Ksim.Mem_sim.pid; page } -> if pid = inode then Some page else None)
+      trace
+  in
+  let seq = per_inode 1 in
+  let rec is_seq = function
+    | a :: (b :: _ as rest) -> b = a + 1 && is_seq rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "file 1 sequential" true (is_seq seq);
+  let strided = per_inode 2 in
+  let rec is_strided = function
+    | a :: (b :: _ as rest) -> b = a + 7 && is_strided rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "file 2 strided by 7" true (is_strided strided);
+  let reversed = per_inode 3 in
+  let rec is_reversed = function
+    | a :: (b :: _ as rest) -> b = a - 1 && is_reversed rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "file 3 reversed" true (is_reversed reversed)
+
+let test_retag () =
+  let rng = Kml.Rng.create 2 in
+  let trace = Ksim.Workload_mem.file_streams ~rng () in
+  let retagged = Ksim.Workload_mem.retag trace ~pid:9 in
+  Alcotest.(check int) "same length" (List.length trace) (List.length retagged);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int) "pid replaced" 9 b.Ksim.Mem_sim.pid;
+      Alcotest.(check int) "page kept" a.Ksim.Mem_sim.page b.Ksim.Mem_sim.page)
+    trace retagged
+
+let test_granularity_helps () =
+  (* Compressed version of ablation I: per-inode matching must beat the
+     collapsed per-process stream for the learned prefetcher. *)
+  let rng = Kml.Rng.create 3 in
+  let params =
+    { Ksim.Workload_mem.default_file_streams with n_files = 4; pages_per_file = 800 }
+  in
+  let per_inode = Ksim.Workload_mem.file_streams ~params ~rng () in
+  let per_process = Ksim.Workload_mem.retag per_inode ~pid:1 in
+  let config = Rkd.Experiment.mem_config in
+  let run trace =
+    let ours = Rkd.Prefetch_rmt.create () in
+    (Ksim.Mem_sim.run ~config ~prefetcher:(Rkd.Prefetch_rmt.prefetcher ours) trace)
+      .Ksim.Mem_sim.coverage
+  in
+  let fine = run per_inode and coarse = run per_process in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-inode coverage %.2f > per-process %.2f" fine coarse)
+    true (fine > coarse)
+
+(* ---------------- producer/consumer workload ---------------- *)
+
+let test_producer_consumer_structure () =
+  let rng = Kml.Rng.create 4 in
+  let lag = 3 and delta = 1000 in
+  let trace =
+    Ksim.Workload_mem.producer_consumer ~rng ~n:50 ~lag ~delta ~pages:10_000 ~producer:7
+      ~consumer:8 ()
+  in
+  let producer_pages =
+    List.filter_map
+      (fun { Ksim.Mem_sim.pid; page } -> if pid = 7 then Some page else None)
+      trace
+  in
+  let consumer_pages =
+    List.filter_map
+      (fun { Ksim.Mem_sim.pid; page } -> if pid = 8 then Some page else None)
+      trace
+  in
+  Alcotest.(check int) "producer count" 50 (List.length producer_pages);
+  Alcotest.(check int) "consumer lags" (50 - lag) (List.length consumer_pages);
+  (* consumer page i = producer page i + delta *)
+  List.iteri
+    (fun i q ->
+      Alcotest.(check int) "mapping holds" (List.nth producer_pages i + delta) q)
+    consumer_pages
+
+(* ---------------- Cross_app ---------------- *)
+
+let test_cross_app_detects_coupling () =
+  let rng = Kml.Rng.create 5 in
+  let trace =
+    Ksim.Workload_mem.producer_consumer ~rng ~n:1500 ~lag:4 ~delta:777 ~producer:1
+      ~consumer:2 ()
+  in
+  let xa = Rkd.Cross_app.create () in
+  let prefetcher = Rkd.Cross_app.prefetcher xa in
+  List.iter
+    (fun { Ksim.Mem_sim.pid; page } ->
+      ignore (prefetcher.Ksim.Prefetcher.on_access ~pid ~page ~hit:false ~now:0))
+    trace;
+  match Rkd.Cross_app.couplings xa with
+  | [ c ] ->
+    Alcotest.(check int) "producer" 1 c.Rkd.Cross_app.producer;
+    Alcotest.(check int) "consumer" 2 c.Rkd.Cross_app.consumer;
+    Alcotest.(check int) "delta" 777 c.Rkd.Cross_app.delta
+  | other -> Alcotest.failf "expected one coupling, got %d" (List.length other)
+
+let test_cross_app_no_false_coupling () =
+  (* Two independent random walks must not couple. *)
+  let rng = Kml.Rng.create 6 in
+  let xa = Rkd.Cross_app.create () in
+  let prefetcher = Rkd.Cross_app.prefetcher xa in
+  for _ = 1 to 2000 do
+    ignore
+      (prefetcher.Ksim.Prefetcher.on_access ~pid:1 ~page:(Kml.Rng.int rng 1_000_000)
+         ~hit:false ~now:0);
+    ignore
+      (prefetcher.Ksim.Prefetcher.on_access ~pid:2
+         ~page:(2_000_000 + Kml.Rng.int rng 1_000_000) ~hit:false ~now:0)
+  done;
+  Alcotest.(check int) "no couplings" 0 (List.length (Rkd.Cross_app.couplings xa))
+
+let test_cross_app_decouples_on_change () =
+  let rng = Kml.Rng.create 7 in
+  let xa = Rkd.Cross_app.create () in
+  let prefetcher = Rkd.Cross_app.prefetcher xa in
+  let coupled =
+    Ksim.Workload_mem.producer_consumer ~rng ~n:1000 ~lag:2 ~delta:555 ~producer:1
+      ~consumer:2 ()
+  in
+  List.iter
+    (fun { Ksim.Mem_sim.pid; page } ->
+      ignore (prefetcher.Ksim.Prefetcher.on_access ~pid ~page ~hit:false ~now:0))
+    coupled;
+  Alcotest.(check bool) "coupled first" true (Rkd.Cross_app.couplings xa <> []);
+  (* now the streams diverge: independent walks *)
+  for _ = 1 to 2000 do
+    ignore
+      (prefetcher.Ksim.Prefetcher.on_access ~pid:1 ~page:(Kml.Rng.int rng 1_000_000)
+         ~hit:false ~now:0);
+    ignore
+      (prefetcher.Ksim.Prefetcher.on_access ~pid:2
+         ~page:(5_000_000 + Kml.Rng.int rng 1_000_000) ~hit:false ~now:0)
+  done;
+  Alcotest.(check int) "decoupled after divergence" 0
+    (List.length (Rkd.Cross_app.couplings xa))
+
+let test_cross_app_beats_per_stream () =
+  let rows = Rkd.Experiment.ablation_cross_app () in
+  let find name =
+    List.find (fun (r : Rkd.Experiment.cross_row) -> r.x_system = name) rows
+  in
+  let xa = find "cross-app" and linux = find "linux" and ours = find "rmt-ml" in
+  Alcotest.(check bool) "cross-app covers ~half" true (xa.Rkd.Experiment.x_coverage_pct > 40.0);
+  Alcotest.(check bool) "per-stream blind (linux)" true
+    (linux.Rkd.Experiment.x_coverage_pct < 5.0);
+  Alcotest.(check bool) "per-stream blind (rmt-ml)" true
+    (ours.Rkd.Experiment.x_coverage_pct < 5.0);
+  Alcotest.(check bool) "cross-app fastest" true
+    (xa.Rkd.Experiment.x_completion_s < linux.Rkd.Experiment.x_completion_s)
+
+let test_cross_app_validation () =
+  Alcotest.check_raises "params" (Invalid_argument "Cross_app.create: invalid parameters")
+    (fun () ->
+      ignore
+        (Rkd.Cross_app.create
+           ~params:{ Rkd.Cross_app.history = 8; min_support = 10; vote_window = 5 }
+           ()))
+
+let suite =
+  [ ( "file_streams",
+      [ Alcotest.test_case "structure" `Quick test_file_streams_structure;
+        Alcotest.test_case "retag" `Quick test_retag;
+        Alcotest.test_case "granularity helps" `Slow test_granularity_helps ] );
+    ( "producer_consumer",
+      [ Alcotest.test_case "structure" `Quick test_producer_consumer_structure ] );
+    ( "cross_app",
+      [ Alcotest.test_case "detects coupling" `Quick test_cross_app_detects_coupling;
+        Alcotest.test_case "no false coupling" `Quick test_cross_app_no_false_coupling;
+        Alcotest.test_case "decouples on change" `Quick test_cross_app_decouples_on_change;
+        Alcotest.test_case "beats per-stream" `Slow test_cross_app_beats_per_stream;
+        Alcotest.test_case "validation" `Quick test_cross_app_validation ] ) ]
+
+(* ---------------- Online training loop (ablation K) ---------------- *)
+
+let test_online_training_converges () =
+  let rows = Rkd.Experiment.ablation_online_training () in
+  Alcotest.(check bool) "several windows" true (List.length rows > 8);
+  let last = List.nth rows (List.length rows - 1) in
+  Alcotest.(check bool) "models were pushed" true (last.Rkd.Experiment.pushes_so_far >= 3);
+  (* The tail of the learning curve must sit at high agreement. *)
+  let tail =
+    List.filteri (fun i _ -> i >= List.length rows - 5) rows
+    |> List.map (fun (r : Rkd.Experiment.online_row) -> r.window_agreement_pct)
+  in
+  let mean = List.fold_left ( +. ) 0.0 tail /. float_of_int (List.length tail) in
+  Alcotest.(check bool) (Printf.sprintf "tail agreement %.1f >= 95" mean) true (mean >= 95.0)
+
+let suite =
+  suite
+  @ [ ( "online_training",
+        [ Alcotest.test_case "converges" `Slow test_online_training_converges ] ) ]

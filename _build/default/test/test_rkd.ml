@@ -1,0 +1,246 @@
+(* Tests for the paper's glue layer: the RMT prefetcher (case study 1), the
+   scheduler hook (case study 2), the adaptation monitor and the experiment
+   harness plumbing. *)
+
+(* ---------------- Prefetch_rmt ---------------- *)
+
+let small_params =
+  { Rkd.Prefetch_rmt.default_params with
+    window_capacity = 1024;
+    retrain_period = 128 }
+
+let test_prefetch_programs_verify () =
+  (* Both case-study programs must pass the verifier with the standard
+     helper set and a bound tree model — exercised via create. *)
+  let t = Rkd.Prefetch_rmt.create ~params:small_params () in
+  let control = Rkd.Prefetch_rmt.control t in
+  Alcotest.(check (list string)) "programs installed" [ "pf_collect"; "pf_predict" ]
+    (Rmt.Control.program_names control);
+  Alcotest.(check (list string)) "tables registered"
+    [ "page_access_tab"; "page_prefetch_tab" ] (Rmt.Control.table_names control)
+
+let test_prefetch_learns_stride () =
+  let t = Rkd.Prefetch_rmt.create ~params:small_params () in
+  let prefetcher = Rkd.Prefetch_rmt.prefetcher t in
+  let trace = Ksim.Workload_mem.strided ~pid:1 ~start:0 ~stride:5 ~n:3000 in
+  let r = Ksim.Mem_sim.run ~prefetcher trace in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %.2f > 0.8 on pure stride" r.Ksim.Mem_sim.coverage)
+    true (r.Ksim.Mem_sim.coverage > 0.8);
+  let stats = Rkd.Prefetch_rmt.stats t in
+  Alcotest.(check bool) "retrained" true (stats.Rkd.Prefetch_rmt.retrains > 0);
+  Alcotest.(check bool) "model invoked" true (stats.Rkd.Prefetch_rmt.model_invocations > 0);
+  Alcotest.(check bool) "vm executed bytecode" true (stats.Rkd.Prefetch_rmt.vm_steps > 0)
+
+let test_prefetch_beats_baselines_on_conv () =
+  let config = Rkd.Experiment.mem_config in
+  let trace = Ksim.Workload_mem.matrix_conv ~pid:1 () in
+  let ours = Rkd.Prefetch_rmt.create () in
+  let r_ours =
+    Ksim.Mem_sim.run ~config ~prefetcher:(Rkd.Prefetch_rmt.prefetcher ours) trace
+  in
+  let r_leap = Ksim.Mem_sim.run ~config ~prefetcher:(Ksim.Leap.create ()) trace in
+  let r_linux = Ksim.Mem_sim.run ~config ~prefetcher:(Ksim.Readahead.create ()) trace in
+  Alcotest.(check bool) "beats leap coverage" true
+    (r_ours.Ksim.Mem_sim.coverage > r_leap.Ksim.Mem_sim.coverage);
+  Alcotest.(check bool) "beats linux coverage" true
+    (r_ours.Ksim.Mem_sim.coverage > r_linux.Ksim.Mem_sim.coverage);
+  Alcotest.(check bool) "beats both on completion" true
+    (r_ours.Ksim.Mem_sim.completion_ns < r_leap.Ksim.Mem_sim.completion_ns
+     && r_ours.Ksim.Mem_sim.completion_ns < r_linux.Ksim.Mem_sim.completion_ns)
+
+let test_prefetch_reset_is_complete () =
+  let t = Rkd.Prefetch_rmt.create ~params:small_params () in
+  let prefetcher = Rkd.Prefetch_rmt.prefetcher t in
+  let trace = Ksim.Workload_mem.strided ~pid:1 ~start:0 ~stride:3 ~n:2000 in
+  let r1 = Ksim.Mem_sim.run ~prefetcher trace in
+  let r2 = Ksim.Mem_sim.run ~prefetcher trace in
+  Alcotest.(check int) "same faults after reset" r1.Ksim.Mem_sim.faults r2.Ksim.Mem_sim.faults;
+  Alcotest.(check (float 0.0001)) "same accuracy after reset" r1.Ksim.Mem_sim.accuracy
+    r2.Ksim.Mem_sim.accuracy
+
+let test_prefetch_interp_jit_agree () =
+  let run engine =
+    let t = Rkd.Prefetch_rmt.create ~params:small_params ~engine () in
+    let trace = Ksim.Workload_mem.strided ~pid:1 ~start:0 ~stride:7 ~n:1500 in
+    let r = Ksim.Mem_sim.run ~prefetcher:(Rkd.Prefetch_rmt.prefetcher t) trace in
+    (r.Ksim.Mem_sim.faults, r.Ksim.Mem_sim.prefetches_issued, r.Ksim.Mem_sim.prefetches_used)
+  in
+  Alcotest.(check bool) "engines agree end-to-end" true
+    (run Rmt.Vm.Interpreted = run Rmt.Vm.Jit_compiled)
+
+let test_prefetch_per_pid_entries () =
+  let t = Rkd.Prefetch_rmt.create ~params:small_params () in
+  let prefetcher = Rkd.Prefetch_rmt.prefetcher t in
+  (* two interleaved processes *)
+  let trace =
+    List.concat_map
+      (fun i ->
+        [ { Ksim.Mem_sim.pid = 1; page = i * 2 };
+          { Ksim.Mem_sim.pid = 2; page = 1_000_000 + (i * 3) } ])
+      (List.init 800 Fun.id)
+  in
+  ignore (Ksim.Mem_sim.run ~prefetcher trace);
+  let control = Rkd.Prefetch_rmt.control t in
+  let table = Option.get (Rmt.Control.find_table control "page_access_tab") in
+  Alcotest.(check int) "one entry per process" 2 (Rmt.Table.entry_count table)
+
+(* ---------------- Sched_rmt ---------------- *)
+
+let linear_model weights threshold =
+  Rmt.Model_store.Fn
+    { n_features = Array.length weights;
+      cost = Kml.Model_cost.zero;
+      f =
+        (fun features ->
+          let score = ref 0 in
+          Array.iteri (fun i w -> score := !score + (w * features.(i))) weights;
+          if !score > threshold then 1 else 0) }
+
+let test_sched_rmt_decider () =
+  let weights = Array.make 15 0 in
+  weights.(4) <- 1 (* imbalance *);
+  let t = Rkd.Sched_rmt.create ~model:(linear_model weights 2000) () in
+  let d = Rkd.Sched_rmt.decider t in
+  let features = Array.make 15 0 in
+  features.(4) <- 3000;
+  Alcotest.(check bool) "migrate on big imbalance" true (d ~features ~heuristic:false);
+  features.(4) <- 100;
+  Alcotest.(check bool) "stay on small imbalance" false (d ~features ~heuristic:true);
+  let stats = Rkd.Sched_rmt.stats t in
+  Alcotest.(check int) "decisions" 2 stats.Rkd.Sched_rmt.decisions;
+  Alcotest.(check bool) "full reads all features" true
+    (stats.Rkd.Sched_rmt.reads_per_decision >= 15.0)
+
+let test_sched_rmt_lean_reads_less () =
+  let full = Rkd.Sched_rmt.create ~model:(linear_model (Array.make 15 1) 10) () in
+  let lean = Rkd.Sched_rmt.create ~keep:[| 4; 6 |] ~model:(linear_model [| 1; 1 |] 10) () in
+  let features = Array.init 15 (fun i -> i) in
+  for _ = 1 to 10 do
+    ignore (Rkd.Sched_rmt.decider full ~features ~heuristic:false);
+    ignore (Rkd.Sched_rmt.decider lean ~features ~heuristic:false)
+  done;
+  let sf = Rkd.Sched_rmt.stats full and sl = Rkd.Sched_rmt.stats lean in
+  Alcotest.(check bool)
+    (Printf.sprintf "lean reads fewer monitor words (%.1f vs %.1f)"
+       sl.Rkd.Sched_rmt.reads_per_decision sf.Rkd.Sched_rmt.reads_per_decision)
+    true
+    (sl.Rkd.Sched_rmt.reads_per_decision < sf.Rkd.Sched_rmt.reads_per_decision /. 3.0)
+
+let test_sched_rmt_arity_check () =
+  Alcotest.check_raises "model/keep mismatch"
+    (Invalid_argument "Sched_rmt.create: model arity must match the kept feature count")
+    (fun () ->
+      ignore (Rkd.Sched_rmt.create ~keep:[| 0; 1 |] ~model:(linear_model (Array.make 15 1) 0) ()))
+
+let test_sched_rmt_drives_simulation () =
+  let t = Rkd.Sched_rmt.create ~model:(linear_model (Array.make 15 0) (-1)) () in
+  (* constant-migrate model: score 0 > -1 -> always class 1 *)
+  let r =
+    Ksim.Sched_sim.run ~workload:"matmul" ~decider_name:"rmt" (Rkd.Sched_rmt.decider t)
+  in
+  Alcotest.(check bool) "simulation completes" true (r.Ksim.Sched_sim.jct_ns > 0);
+  let stats = Rkd.Sched_rmt.stats t in
+  Alcotest.(check int) "every decision through the vm" r.Ksim.Sched_sim.decisions
+    stats.Rkd.Sched_rmt.decisions
+
+(* ---------------- Adapt ---------------- *)
+
+let test_adapt_transitions () =
+  let degraded = ref 0 and recovered = ref 0 in
+  let m =
+    Rkd.Adapt.create ~low:0.4 ~high:0.7 ~window:10
+      ~on_degrade:(fun () -> incr degraded)
+      ~on_recover:(fun () -> incr recovered)
+      ()
+  in
+  Alcotest.(check bool) "starts normal" true (Rkd.Adapt.mode m = Rkd.Adapt.Normal);
+  for _ = 1 to 10 do
+    Rkd.Adapt.observe m ~correct:false
+  done;
+  Alcotest.(check bool) "degraded" true (Rkd.Adapt.mode m = Rkd.Adapt.Conservative);
+  Alcotest.(check int) "degrade fired" 1 !degraded;
+  for _ = 1 to 10 do
+    Rkd.Adapt.observe m ~correct:true
+  done;
+  Alcotest.(check bool) "recovered" true (Rkd.Adapt.mode m = Rkd.Adapt.Normal);
+  Alcotest.(check int) "recover fired" 1 !recovered;
+  Alcotest.(check int) "transitions" 2 (Rkd.Adapt.transitions m)
+
+let test_adapt_hysteresis () =
+  let m = Rkd.Adapt.create ~low:0.3 ~high:0.8 ~window:10 () in
+  (* 50% accuracy: neither threshold crossed from Normal *)
+  for i = 1 to 20 do
+    Rkd.Adapt.observe m ~correct:(i mod 2 = 0)
+  done;
+  Alcotest.(check bool) "stays normal in the band" true (Rkd.Adapt.mode m = Rkd.Adapt.Normal);
+  Alcotest.(check int) "no transitions" 0 (Rkd.Adapt.transitions m)
+
+let test_adapt_validation () =
+  Alcotest.check_raises "bad thresholds"
+    (Invalid_argument "Adapt.create: need 0 <= low <= high <= 1") (fun () ->
+      ignore (Rkd.Adapt.create ~low:0.9 ~high:0.2 ()))
+
+(* ---------------- Experiment / Report plumbing ---------------- *)
+
+let test_privacy_ablation_shape () =
+  let rows = Rkd.Experiment.ablation_privacy () in
+  Alcotest.(check int) "five budgets" 5 (List.length rows);
+  (* Per-query noise decreases as per-query epsilon grows; the fixed total
+     budget answers fewer of the more precise queries. *)
+  let noises = List.map (fun r -> r.Rkd.Experiment.mean_abs_noise) rows in
+  let first = List.hd noises and last = List.nth noises (List.length noises - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "noise shrinks with per-query epsilon (%.2f -> %.2f)" first last)
+    true (first > last);
+  let r_precise = List.nth rows (List.length rows - 1) in
+  Alcotest.(check bool) "precise queries exhaust the budget" true
+    (r_precise.Rkd.Experiment.queries_denied > 0);
+  let r_cheap = List.hd rows in
+  Alcotest.(check bool) "cheap queries all answered" true
+    (r_cheap.Rkd.Experiment.queries_denied = 0)
+
+let test_vm_overhead_shape () =
+  let rows = Rkd.Experiment.vm_overhead ~iterations:2_000 () in
+  Alcotest.(check int) "four rows" 4 (List.length rows);
+  let find engine program =
+    List.find
+      (fun (r : Rkd.Experiment.overhead_row) -> r.engine = engine && r.program = program)
+      rows
+  in
+  let i = find "interpreted" "pf_collect" and j = find "jit" "pf_collect" in
+  Alcotest.(check bool) "same step counts across engines" true
+    (Float.abs (i.Rkd.Experiment.steps_per_invocation -. j.Rkd.Experiment.steps_per_invocation)
+     < 0.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "jit not slower (%.0f vs %.0f ns)" j.Rkd.Experiment.ns_per_invocation
+       i.Rkd.Experiment.ns_per_invocation)
+    true
+    (j.Rkd.Experiment.ns_per_invocation
+     < i.Rkd.Experiment.ns_per_invocation *. 1.1)
+
+let test_report_paper_tables_complete () =
+  Alcotest.(check int) "table1 reference rows" 6 (List.length Rkd.Report.paper_table1);
+  Alcotest.(check int) "table2 reference rows" 12 (List.length Rkd.Report.paper_table2)
+
+let suite =
+  [ ( "prefetch_rmt",
+      [ Alcotest.test_case "programs verify and install" `Quick test_prefetch_programs_verify;
+        Alcotest.test_case "learns stride online" `Quick test_prefetch_learns_stride;
+        Alcotest.test_case "beats baselines on conv" `Slow test_prefetch_beats_baselines_on_conv;
+        Alcotest.test_case "reset is complete" `Quick test_prefetch_reset_is_complete;
+        Alcotest.test_case "interp/jit agree end-to-end" `Slow test_prefetch_interp_jit_agree;
+        Alcotest.test_case "per-pid entries" `Quick test_prefetch_per_pid_entries ] );
+    ( "sched_rmt",
+      [ Alcotest.test_case "decider" `Quick test_sched_rmt_decider;
+        Alcotest.test_case "lean reads less" `Quick test_sched_rmt_lean_reads_less;
+        Alcotest.test_case "arity check" `Quick test_sched_rmt_arity_check;
+        Alcotest.test_case "drives simulation" `Quick test_sched_rmt_drives_simulation ] );
+    ( "adapt",
+      [ Alcotest.test_case "transitions" `Quick test_adapt_transitions;
+        Alcotest.test_case "hysteresis" `Quick test_adapt_hysteresis;
+        Alcotest.test_case "validation" `Quick test_adapt_validation ] );
+    ( "experiment",
+      [ Alcotest.test_case "privacy ablation shape" `Quick test_privacy_ablation_shape;
+        Alcotest.test_case "vm overhead shape" `Slow test_vm_overhead_shape;
+        Alcotest.test_case "paper tables complete" `Quick test_report_paper_tables_complete ] ) ]
