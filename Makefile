@@ -1,4 +1,4 @@
-.PHONY: all build test bench table1 table2 ablations micro examples clean
+.PHONY: all build test bench table1 table2 ablations micro bench-json perf-check examples clean
 
 all: build
 
@@ -22,6 +22,12 @@ ablations:
 
 micro:
 	dune exec bench/main.exe micro
+
+bench-json:
+	dune exec bench/main.exe json BENCH_micro.json
+
+perf-check:
+	dune exec bench/main.exe perf-check bench/BASELINE_micro.json
 
 examples:
 	dune exec examples/quickstart.exe

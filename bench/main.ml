@@ -7,6 +7,11 @@
      bench/main.exe ablations   -- ablations A-F
      bench/main.exe overhead    -- Figure 1 family (wall-clock VM overhead)
      bench/main.exe micro       -- Bechamel microbenchmarks
+     bench/main.exe json [path]       -- microbenchmarks, machine readable
+                                         (default path: BENCH_micro.json)
+     bench/main.exe perf-check [base] -- fail if any fig1/* microbench is
+                                         >25% slower than the baseline file
+                                         (default: bench/BASELINE_micro.json)
 
    The Bechamel suite carries one Test.make group per paper table (the
    per-invocation datapath cost behind that table's system) plus the
@@ -100,23 +105,101 @@ let micro_tests () =
     Test.make ~name:"table2/migration-decision"
       (Staged.stage (fun () -> decider ~features:features15 ~heuristic:false)) ]
 
-let run_micro () =
+(* Run the Bechamel suite and return [(name, ns_per_run)] in suite order. *)
+let measure_micro () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
-  Format.printf "@.Microbenchmarks (Bechamel, monotonic clock)@.";
-  Format.printf "  %-32s %14s@." "benchmark" "ns/run";
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
       let estimates = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name result ->
+      Hashtbl.fold
+        (fun name result acc ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Format.printf "  %-32s %14.1f@." name est
-          | Some _ | None -> Format.printf "  %-32s %14s@." name "n/a")
-        estimates)
+          | Some [ est ] -> (name, est) :: acc
+          | Some _ | None -> acc)
+        estimates [])
     (micro_tests ())
+
+let run_micro () =
+  Format.printf "@.Microbenchmarks (Bechamel, monotonic clock)@.";
+  Format.printf "  %-32s %14s@." "benchmark" "ns/run";
+  List.iter (fun (name, ns) -> Format.printf "  %-32s %14.1f@." name ns) (measure_micro ())
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results and regression gate                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One result per line so the reader below can stay Scanf-only. *)
+let write_json path results =
+  let oc = open_out path in
+  let n = List.length results in
+  output_string oc "{\n  \"schema\": \"rkd-bench-micro/1\",\n  \"results\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %.2f }%s\n" name ns
+        (if i = n - 1 then "" else ","))
+    results;
+  output_string oc "  ]\n}\n";
+  close_out oc
+
+let read_json path =
+  let ic = open_in path in
+  let results = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         Scanf.sscanf line " { \"name\": %S, \"ns_per_run\": %f" (fun name ns -> (name, ns))
+       with
+       | pair -> results := pair :: !results
+       | exception Scanf.Scan_failure _ -> ()
+       | exception End_of_file -> ()
+       | exception Failure _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !results
+
+let run_json path =
+  let results = measure_micro () in
+  write_json path results;
+  Format.printf "wrote %d results to %s@." (List.length results) path
+
+(* Fail (exit 1) when any fig1/* microbench regresses more than 25%%
+   against the checked-in baseline. *)
+let run_perf_check baseline_path =
+  if not (Sys.file_exists baseline_path) then begin
+    Format.eprintf "perf-check: baseline %s not found@." baseline_path;
+    exit 2
+  end;
+  let baseline = read_json baseline_path in
+  let current = measure_micro () in
+  let tolerance = 1.25 in
+  let failed = ref false in
+  Format.printf "@.perf-check vs %s (fail above %.0f%% regression)@." baseline_path
+    ((tolerance -. 1.) *. 100.);
+  Format.printf "  %-32s %12s %12s %8s  %s@." "benchmark" "baseline" "current" "ratio" "gate";
+  List.iter
+    (fun (name, base_ns) ->
+      match List.assoc_opt name current with
+      | None ->
+        failed := true;
+        Format.printf "  %-32s %12.1f %12s %8s  MISSING@." name base_ns "-" "-"
+      | Some ns ->
+        let ratio = ns /. base_ns in
+        let gated = String.length name >= 5 && String.sub name 0 5 = "fig1/" in
+        let bad = gated && ratio > tolerance in
+        if bad then failed := true;
+        Format.printf "  %-32s %12.1f %12.1f %8.2f  %s@." name base_ns ns ratio
+          (if bad then "FAIL" else if gated then "ok" else "info"))
+    baseline;
+  if !failed then begin
+    Format.printf "perf-check: FAILED@.";
+    exit 1
+  end
+  else Format.printf "perf-check: ok@."
 
 (* ------------------------------------------------------------------ *)
 (* Table / ablation harness                                            *)
@@ -163,8 +246,11 @@ let run_shapes () =
     (Rkd.Report.shape_checks t1 t2)
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  let arg i default = if Array.length Sys.argv > i then Sys.argv.(i) else default in
+  match arg 1 "all" with
   | "micro" -> run_micro ()
+  | "json" -> run_json (arg 2 "BENCH_micro.json")
+  | "perf-check" -> run_perf_check (arg 2 "bench/BASELINE_micro.json")
   | "table1" -> run_table1 ()
   | "table2" -> run_table2 ()
   | "ablations" -> run_ablations ()
@@ -178,6 +264,7 @@ let () =
     Format.printf "@.";
     run_micro ()
   | other ->
-    Format.eprintf "unknown mode %s (expected micro|table1|table2|ablations|overhead|all)@."
+    Format.eprintf
+      "unknown mode %s (expected micro|json|perf-check|table1|table2|ablations|overhead|all)@."
       other;
     exit 1

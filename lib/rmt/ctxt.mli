@@ -6,7 +6,13 @@
     deltas).  Reads of absent keys return 0, making verified programs
     total.  A per-context read counter supports the lean-monitoring
     experiments: it counts exactly how many monitor words each invocation
-    consumed. *)
+    consumed.
+
+    The store is a flat open-addressed int->int table with a dense fast
+    path for small keys (the common hook key range): dense [get]/[set] is
+    an array access, sparse keys fall back to linear probing.  No operation
+    on an existing binding allocates, which keeps the VM datapath
+    allocation-free in steady state. *)
 
 type t
 
@@ -29,4 +35,7 @@ val reads : t -> int
 
 val reset_reads : t -> unit
 val of_list : (int * int) list -> t
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over all live bindings in unspecified order. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,6 +1,6 @@
 type env = {
-  ctxt : Ctxt.t;
-  now : unit -> int;
+  mutable ctxt : Ctxt.t;
+  mutable now : unit -> int;
   random : unit -> int;
 }
 

@@ -9,8 +9,8 @@
     (§3.3 "Privacy"). *)
 
 type env = {
-  ctxt : Ctxt.t;
-  now : unit -> int;        (** simulated nanoseconds *)
+  mutable ctxt : Ctxt.t;    (** mutable so engines can reuse one env across runs *)
+  mutable now : unit -> int;  (** simulated nanoseconds *)
   random : unit -> int;     (** deterministic per-VM randomness *)
 }
 

@@ -19,7 +19,10 @@ let fix_add a b = Kml.Fixed.to_raw (Kml.Fixed.add (Kml.Fixed.of_raw a) (Kml.Fixe
 
 let run_helper (loaded : Loaded.t) st env id =
   let arity = Helper.arity loaded.helpers id in
-  let args = Array.init arity (fun i -> st.regs.(i + 1)) in
+  let args = loaded.call_args.(arity) in
+  for i = 0 to arity - 1 do
+    args.(i) <- st.regs.(i + 1)
+  done;
   let raw = Helper.invoke loaded.helpers id env args in
   let cost = Helper.privacy_cost loaded.helpers id in
   let result =
@@ -53,7 +56,9 @@ let run ?fuel (loaded : Loaded.t) ~ctxt ~now =
   in
   let st = { regs = Array.make Insn.n_registers 0; fuel; steps = 0; denied = 0 } in
   let rec run_program (loaded : Loaded.t) depth =
-    let env = { Helper.ctxt; now; random = (fun () -> Kml.Rng.next loaded.rng) } in
+    let env = loaded.env in
+    env.Helper.ctxt <- ctxt;
+    env.Helper.now <- now;
     let code = loaded.prog.Program.code in
     let vmem = loaded.vmem in
     Array.fill vmem 0 (Array.length vmem) 0;
@@ -123,7 +128,8 @@ let run ?fuel (loaded : Loaded.t) ~ctxt ~now =
           run_helper loaded st env id;
           exec_range (pc + 1) pc_hi
         | I.Call_ml (slot, off, len) ->
-          let features = Array.sub vmem off len in
+          let features = loaded.ml_args.(slot) in
+          Array.blit vmem off features 0 len;
           st.regs.(0) <- Model_store.predict loaded.store loaded.models.(slot) features;
           for r = 1 to 5 do
             st.regs.(r) <- 0
@@ -158,8 +164,10 @@ let run ?fuel (loaded : Loaded.t) ~ctxt ~now =
           (* dst and src ranges are disjoint-checked by the verifier?  No:
              overlapping writes are allowed and behave as a sequential
              row-by-row computation reading the ORIGINAL src values.  We
-             snapshot src to make that semantics explicit. *)
-          let x = Array.sub vmem src cols in
+             snapshot src (into preallocated scratch) to make that
+             semantics explicit without allocating. *)
+          let x = loaded.matmul_src in
+          Array.blit vmem src x 0 cols;
           for i = 0 to rows - 1 do
             let acc = ref 0 in
             for j = 0 to cols - 1 do

@@ -8,278 +8,436 @@ type st = {
   mutable result : int;
 }
 
-(* Closure protocol: each compiled instruction takes the run state and
-   returns the next pc, or a sentinel: [exit_pc] (program finished, result
-   in [st.result]) or [tail_pc] (tail call, slot in [st.tail_slot]). *)
-let exit_pc = -1
-let tail_pc = -2
+(* Direct-threaded closure protocol: each compiled instruction is a closure
+   that performs its effect and tail-calls its successor closure directly —
+   there is no driver loop and no pc.  A chain terminates by returning a
+   code: [code_done] (control reached the end of the compiled range — a Rep
+   body iteration finished, or the whole program fell off the end),
+   [code_exit] (result in [st.result]) or [code_tail] (slot in
+   [st.tail_slot]).  Because every successor call is a tail call, chains run
+   in constant stack; only Rep nesting consumes stack frames. *)
+let code_done = 0
+let code_exit = 1
+let code_tail = 2
 
-type unit_code = { closures : (st -> int) array; loaded : Loaded.t }
-type compiled = { root : unit_code; cache : (string, unit_code) Hashtbl.t }
+type unit_code = { entry : st -> int; loaded : Loaded.t }
+
+type compiled = {
+  root : unit_code;
+  cache : (int, unit_code) Hashtbl.t; (* keyed by Loaded.uid *)
+  st : st;
+}
 
 let fix_mul a b = Kml.Fixed.to_raw (Kml.Fixed.mul (Kml.Fixed.of_raw a) (Kml.Fixed.of_raw b))
 let fix_add a b = Kml.Fixed.to_raw (Kml.Fixed.add (Kml.Fixed.of_raw a) (Kml.Fixed.of_raw b))
+
+(* Micro-op encoding for fused straight-line runs of register-only
+   instructions (Ld_imm / Mov / Alu / Alu_imm).  A run compiles to one
+   closure executing the whole block from flat arrays — one indirect call
+   per block instead of one per instruction. *)
+let uop_ld_imm = 0
+let uop_mov = 1
+let uop_alu = 2
+let uop_alu_imm = 3
+
+let fusible (insn : Insn.t) =
+  match insn with
+  | Insn.Ld_imm _ | Insn.Mov _ | Insn.Alu _ | Insn.Alu_imm _ -> true
+  | _ -> false
 
 let compile_unit (loaded : Loaded.t) : unit_code =
   let code = loaded.prog.Program.code in
   let vmem = loaded.vmem in
   let n = Array.length code in
-  (* Forward reference so Rep bodies can re-enter the driver loop. *)
-  let exec_range_ref = ref (fun _st _lo _hi -> 0) in
+  (* Flat micro-op tables, valid at fusible pcs only. *)
+  let uop_kind = Array.make (Stdlib.max 1 n) 0 in
+  let uop_x = Array.make (Stdlib.max 1 n) 0 in
+  let uop_y = Array.make (Stdlib.max 1 n) 0 in
+  let uop_op = Array.make (Stdlib.max 1 n) Insn.Add in
+  Array.iteri
+    (fun pc insn ->
+      match insn with
+      | Insn.Ld_imm (rd, imm) ->
+        uop_kind.(pc) <- uop_ld_imm;
+        uop_x.(pc) <- rd;
+        uop_y.(pc) <- imm
+      | Insn.Mov (rd, rs) ->
+        uop_kind.(pc) <- uop_mov;
+        uop_x.(pc) <- rd;
+        uop_y.(pc) <- rs
+      | Insn.Alu (op, rd, rs) ->
+        uop_kind.(pc) <- uop_alu;
+        uop_x.(pc) <- rd;
+        uop_y.(pc) <- rs;
+        uop_op.(pc) <- op
+      | Insn.Alu_imm (op, rd, imm) ->
+        uop_kind.(pc) <- uop_alu_imm;
+        uop_x.(pc) <- rd;
+        uop_y.(pc) <- imm;
+        uop_op.(pc) <- op
+      | _ -> ())
+    code;
   let module I = Insn in
-  let compile_insn pc insn =
-    match insn with
-    | I.Ld_imm (rd, imm) -> fun st -> st.regs.(rd) <- imm; pc + 1
-    | I.Mov (rd, rs) -> fun st -> st.regs.(rd) <- st.regs.(rs); pc + 1
-    | I.Alu (op, rd, rs) ->
-      fun st ->
-        st.regs.(rd) <- Insn.eval_alu op st.regs.(rd) st.regs.(rs);
-        pc + 1
-    | I.Alu_imm (op, rd, imm) ->
-      fun st ->
-        st.regs.(rd) <- Insn.eval_alu op st.regs.(rd) imm;
-        pc + 1
-    | I.Ld_ctxt (rd, rk) ->
-      fun st ->
-        st.regs.(rd) <- Ctxt.get st.ctxt st.regs.(rk);
-        pc + 1
-    | I.Ld_ctxt_k (rd, key) ->
-      fun st ->
-        st.regs.(rd) <- Ctxt.get st.ctxt key;
-        pc + 1
-    | I.St_ctxt (key, rs) ->
-      fun st ->
-        Ctxt.set st.ctxt key st.regs.(rs);
-        pc + 1
-    | I.St_ctxt_r (rk, rs) ->
-      fun st ->
-        let key = st.regs.(rk) in
-        if key >= 0 then Ctxt.set st.ctxt key st.regs.(rs);
-        pc + 1
-    | I.Map_lookup (rd, slot, rk) ->
-      let map = loaded.maps.(slot) in
-      fun st ->
-        st.regs.(rd) <- Map_store.lookup map st.regs.(rk);
-        pc + 1
-    | I.Map_update (slot, rk, rv) ->
-      let map = loaded.maps.(slot) in
-      fun st ->
-        Map_store.update map ~key:st.regs.(rk) ~value:st.regs.(rv);
-        pc + 1
-    | I.Map_delete (slot, rk) ->
-      let map = loaded.maps.(slot) in
-      fun st ->
-        Map_store.delete map st.regs.(rk);
-        pc + 1
-    | I.Ring_push (slot, rv) ->
-      let map = loaded.maps.(slot) in
-      fun st ->
-        Map_store.push map st.regs.(rv);
-        pc + 1
-    | I.Jmp off ->
-      let target = pc + 1 + off in
-      fun _st -> target
-    | I.Jcond (c, ra, rb, off) ->
-      let target = pc + 1 + off in
-      fun st -> if Insn.eval_cond c st.regs.(ra) st.regs.(rb) then target else pc + 1
-    | I.Jcond_imm (c, ra, imm, off) ->
-      let target = pc + 1 + off in
-      fun st -> if Insn.eval_cond c st.regs.(ra) imm then target else pc + 1
-    | I.Rep (count, body_len) ->
-      let body_lo = pc + 1 and body_hi = pc + body_len in
-      fun st ->
-        let rec loop k =
-          if k = 0 then pc + 1 + body_len
-          else begin
-            let res = !exec_range_ref st body_lo body_hi in
-            if res < 0 then res else loop (k - 1)
+  (* Compile [lo, hi] as one range: continuations are range-local because
+     reaching [hi + 1] means different things at different nesting depths
+     (end of a Rep body iteration vs. straight-line fallthrough).  Rep
+     bodies recurse; this mirrors the interpreter's nested exec_range
+     exactly, so step counts and semantics agree by construction. *)
+  let rec compile_range lo hi : st -> int =
+    let len = hi - lo + 1 in
+    let conts = Array.make (len + 1) (fun (_ : st) -> code_done) in
+    (* cont for a target pc in [lo, hi + 1]; safe only for already-compiled
+       (higher) pcs — the verifier's forward-jump rule guarantees that. *)
+    let cont_at target = conts.(Stdlib.min (target - lo) len) in
+    for pc = hi downto lo do
+      let closure =
+        match code.(pc) with
+        | I.Ld_imm _ | I.Mov _ | I.Alu _ | I.Alu_imm _ ->
+          (* Extend the fused block as far as the straight-line run goes. *)
+          let finish = ref pc in
+          while !finish < hi && fusible code.(!finish + 1) do incr finish done;
+          let finish = !finish in
+          let next = cont_at (finish + 1) in
+          if finish = pc then begin
+            (* single instruction: specialize, skip the micro-op loop *)
+            match code.(pc) with
+            | I.Ld_imm (rd, imm) ->
+              fun st ->
+                st.regs.(rd) <- imm;
+                st.steps <- st.steps + 1;
+                next st
+            | I.Mov (rd, rs) ->
+              fun st ->
+                st.regs.(rd) <- st.regs.(rs);
+                st.steps <- st.steps + 1;
+                next st
+            | I.Alu (op, rd, rs) ->
+              fun st ->
+                st.regs.(rd) <- Insn.eval_alu op st.regs.(rd) st.regs.(rs);
+                st.steps <- st.steps + 1;
+                next st
+            | I.Alu_imm (op, rd, imm) ->
+              fun st ->
+                st.regs.(rd) <- Insn.eval_alu op st.regs.(rd) imm;
+                st.steps <- st.steps + 1;
+                next st
+            | _ -> assert false (* fusible covers exactly these four *)
           end
-        in
-        loop count
-    | I.Call id ->
-      let arity = Helper.arity loaded.helpers id in
-      let cost = Helper.privacy_cost loaded.helpers id in
-      fun st ->
-        let env =
-          { Helper.ctxt = st.ctxt;
-            now = st.now;
-            random = (fun () -> Kml.Rng.next loaded.rng) }
-        in
-        let args = Array.init arity (fun i -> st.regs.(i + 1)) in
-        let raw = Helper.invoke loaded.helpers id env args in
-        let result =
-          if cost = 0 then raw
           else begin
-            match loaded.privacy with
-            | None ->
-              st.denied <- st.denied + 1;
-              0
-            | Some acct ->
-              (match
-                 Privacy.noisy_result acct ~rng:loaded.rng ~cost_milli:cost ~sensitivity:1 raw
-               with
-               | Some noisy -> noisy
-               | None ->
-                 st.denied <- st.denied + 1;
-                 0)
+            let count = finish - pc + 1 in
+            fun st ->
+              let regs = st.regs in
+              for i = pc to finish do
+                let x = uop_x.(i) and y = uop_y.(i) in
+                match uop_kind.(i) with
+                | 0 (* uop_ld_imm *) -> regs.(x) <- y
+                | 1 (* uop_mov *) -> regs.(x) <- regs.(y)
+                | 2 (* uop_alu *) -> regs.(x) <- Insn.eval_alu uop_op.(i) regs.(x) regs.(y)
+                | _ (* uop_alu_imm *) -> regs.(x) <- Insn.eval_alu uop_op.(i) regs.(x) y
+              done;
+              st.steps <- st.steps + count;
+              next st
           end
-        in
-        st.regs.(0) <- result;
-        for r = 1 to 5 do
-          st.regs.(r) <- 0
-        done;
-        pc + 1
-    | I.Call_ml (slot, off, len) ->
-      let handle = loaded.models.(slot) in
-      fun st ->
-        let features = Array.sub vmem off len in
-        st.regs.(0) <- Model_store.predict loaded.store handle features;
-        for r = 1 to 5 do
-          st.regs.(r) <- 0
-        done;
-        pc + 1
-    | I.Vec_ld_ctxt (dst, key, len) ->
-      fun st ->
-        for i = 0 to len - 1 do
-          vmem.(dst + i) <- Ctxt.get st.ctxt (key + i)
-        done;
-        pc + 1
-    | I.Vec_ld_map (dst, slot, rk, len) ->
-      let map = loaded.maps.(slot) in
-      fun st ->
-        let base = st.regs.(rk) in
-        for i = 0 to len - 1 do
-          vmem.(dst + i) <- Map_store.lookup map (base + i)
-        done;
-        pc + 1
-    | I.Vec_st_reg (off, rs) ->
-      fun st ->
-        vmem.(off) <- st.regs.(rs);
-        pc + 1
-    | I.Vec_ld_reg (rd, off) ->
-      fun st ->
-        st.regs.(rd) <- vmem.(off);
-        pc + 1
-    | I.Vec_i2f (off, len) ->
-      fun _st ->
-        for i = 0 to len - 1 do
-          vmem.(off + i) <- Kml.Fixed.to_raw (Kml.Fixed.of_int vmem.(off + i))
-        done;
-        pc + 1
-    | I.Mat_mul (dst, cid, src) ->
-      let c = loaded.prog.Program.consts.(cid) in
-      let data = loaded.consts.(cid) in
-      let rows = c.Program.rows and cols = c.Program.cols in
-      fun _st ->
-        let x = Array.sub vmem src cols in
-        for i = 0 to rows - 1 do
-          let acc = ref 0 in
-          for j = 0 to cols - 1 do
-            acc := fix_add !acc (fix_mul data.((i * cols) + j) x.(j))
-          done;
-          vmem.(dst + i) <- !acc
-        done;
-        pc + 1
-    | I.Vec_add_const (dst, cid) ->
-      let c = loaded.prog.Program.consts.(cid) in
-      let data = loaded.consts.(cid) in
-      fun _st ->
-        for i = 0 to c.Program.cols - 1 do
-          vmem.(dst + i) <- fix_add vmem.(dst + i) data.(i)
-        done;
-        pc + 1
-    | I.Vec_relu (off, len) ->
-      fun _st ->
-        for i = 0 to len - 1 do
-          if vmem.(off + i) < 0 then vmem.(off + i) <- 0
-        done;
-        pc + 1
-    | I.Vec_argmax (rd, off, len) ->
-      fun st ->
-        let best = ref 0 in
-        for i = 1 to len - 1 do
-          if vmem.(off + i) > vmem.(off + !best) then best := i
-        done;
-        st.regs.(rd) <- !best;
-        pc + 1
-    | I.Tail_call slot ->
-      fun st ->
-        st.tail_slot <- slot;
-        tail_pc
-    | I.Exit ->
-      fun st ->
-        let r0 = st.regs.(0) in
-        st.result <-
-          (match loaded.guardrail with Some g -> Guardrail.apply g r0 | None -> r0);
-        exit_pc
-  in
-  let closures = Array.init n (fun pc -> compile_insn pc code.(pc)) in
-  let exec_range st lo hi =
-    let pc = ref lo in
-    while !pc >= 0 && !pc <= hi do
-      st.steps <- st.steps + 1;
-      pc := closures.(!pc) st
+        | I.Ld_ctxt (rd, rk) ->
+          let next = cont_at (pc + 1) in
+          fun st ->
+            st.regs.(rd) <- Ctxt.get st.ctxt st.regs.(rk);
+            st.steps <- st.steps + 1;
+            next st
+        | I.Ld_ctxt_k (rd, key) ->
+          let next = cont_at (pc + 1) in
+          fun st ->
+            st.regs.(rd) <- Ctxt.get st.ctxt key;
+            st.steps <- st.steps + 1;
+            next st
+        | I.St_ctxt (key, rs) ->
+          let next = cont_at (pc + 1) in
+          fun st ->
+            Ctxt.set st.ctxt key st.regs.(rs);
+            st.steps <- st.steps + 1;
+            next st
+        | I.St_ctxt_r (rk, rs) ->
+          let next = cont_at (pc + 1) in
+          fun st ->
+            let key = st.regs.(rk) in
+            if key >= 0 then Ctxt.set st.ctxt key st.regs.(rs);
+            st.steps <- st.steps + 1;
+            next st
+        | I.Map_lookup (rd, slot, rk) ->
+          let map = loaded.maps.(slot) in
+          let next = cont_at (pc + 1) in
+          fun st ->
+            st.regs.(rd) <- Map_store.lookup map st.regs.(rk);
+            st.steps <- st.steps + 1;
+            next st
+        | I.Map_update (slot, rk, rv) ->
+          let map = loaded.maps.(slot) in
+          let next = cont_at (pc + 1) in
+          fun st ->
+            Map_store.update map ~key:st.regs.(rk) ~value:st.regs.(rv);
+            st.steps <- st.steps + 1;
+            next st
+        | I.Map_delete (slot, rk) ->
+          let map = loaded.maps.(slot) in
+          let next = cont_at (pc + 1) in
+          fun st ->
+            Map_store.delete map st.regs.(rk);
+            st.steps <- st.steps + 1;
+            next st
+        | I.Ring_push (slot, rv) ->
+          let map = loaded.maps.(slot) in
+          let next = cont_at (pc + 1) in
+          fun st ->
+            Map_store.push map st.regs.(rv);
+            st.steps <- st.steps + 1;
+            next st
+        | I.Jmp off ->
+          let target = cont_at (pc + 1 + off) in
+          fun st ->
+            st.steps <- st.steps + 1;
+            target st
+        | I.Jcond (c, ra, rb, off) ->
+          let target = cont_at (pc + 1 + off) in
+          let next = cont_at (pc + 1) in
+          fun st ->
+            st.steps <- st.steps + 1;
+            if Insn.eval_cond c st.regs.(ra) st.regs.(rb) then target st else next st
+        | I.Jcond_imm (c, ra, imm, off) ->
+          let target = cont_at (pc + 1 + off) in
+          let next = cont_at (pc + 1) in
+          fun st ->
+            st.steps <- st.steps + 1;
+            if Insn.eval_cond c st.regs.(ra) imm then target st else next st
+        | I.Rep (count, body_len) ->
+          let body = compile_range (pc + 1) (pc + body_len) in
+          let next = cont_at (pc + 1 + body_len) in
+          let rec iterate st k =
+            if k = 0 then next st
+            else begin
+              let c = body st in
+              if c = code_done then iterate st (k - 1) else c
+            end
+          in
+          fun st ->
+            st.steps <- st.steps + 1;
+            iterate st count
+        | I.Call id ->
+          let arity = Helper.arity loaded.helpers id in
+          let cost = Helper.privacy_cost loaded.helpers id in
+          let args = loaded.call_args.(arity) in
+          let env = loaded.env in
+          let next = cont_at (pc + 1) in
+          fun st ->
+            for i = 0 to arity - 1 do
+              args.(i) <- st.regs.(i + 1)
+            done;
+            let raw = Helper.invoke loaded.helpers id env args in
+            let result =
+              if cost = 0 then raw
+              else begin
+                match loaded.privacy with
+                | None ->
+                  st.denied <- st.denied + 1;
+                  0
+                | Some acct ->
+                  (match
+                     Privacy.noisy_result acct ~rng:loaded.rng ~cost_milli:cost ~sensitivity:1
+                       raw
+                   with
+                   | Some noisy -> noisy
+                   | None ->
+                     st.denied <- st.denied + 1;
+                     0)
+              end
+            in
+            st.regs.(0) <- result;
+            for r = 1 to 5 do
+              st.regs.(r) <- 0
+            done;
+            st.steps <- st.steps + 1;
+            next st
+        | I.Call_ml (slot, off, len) ->
+          let handle = loaded.models.(slot) in
+          let features = loaded.ml_args.(slot) in
+          let next = cont_at (pc + 1) in
+          fun st ->
+            Array.blit vmem off features 0 len;
+            st.regs.(0) <- Model_store.predict loaded.store handle features;
+            for r = 1 to 5 do
+              st.regs.(r) <- 0
+            done;
+            st.steps <- st.steps + 1;
+            next st
+        | I.Vec_ld_ctxt (dst, key, len) ->
+          let next = cont_at (pc + 1) in
+          fun st ->
+            for i = 0 to len - 1 do
+              vmem.(dst + i) <- Ctxt.get st.ctxt (key + i)
+            done;
+            st.steps <- st.steps + 1;
+            next st
+        | I.Vec_ld_map (dst, slot, rk, len) ->
+          let map = loaded.maps.(slot) in
+          let next = cont_at (pc + 1) in
+          fun st ->
+            let base = st.regs.(rk) in
+            for i = 0 to len - 1 do
+              vmem.(dst + i) <- Map_store.lookup map (base + i)
+            done;
+            st.steps <- st.steps + 1;
+            next st
+        | I.Vec_st_reg (off, rs) ->
+          let next = cont_at (pc + 1) in
+          fun st ->
+            vmem.(off) <- st.regs.(rs);
+            st.steps <- st.steps + 1;
+            next st
+        | I.Vec_ld_reg (rd, off) ->
+          let next = cont_at (pc + 1) in
+          fun st ->
+            st.regs.(rd) <- vmem.(off);
+            st.steps <- st.steps + 1;
+            next st
+        | I.Vec_i2f (off, len) ->
+          let next = cont_at (pc + 1) in
+          fun st ->
+            for i = 0 to len - 1 do
+              vmem.(off + i) <- Kml.Fixed.to_raw (Kml.Fixed.of_int vmem.(off + i))
+            done;
+            st.steps <- st.steps + 1;
+            next st
+        | I.Mat_mul (dst, cid, src) ->
+          let c = loaded.prog.Program.consts.(cid) in
+          let data = loaded.consts.(cid) in
+          let rows = c.Program.rows and cols = c.Program.cols in
+          let x = loaded.matmul_src in
+          let next = cont_at (pc + 1) in
+          fun st ->
+            Array.blit vmem src x 0 cols;
+            for i = 0 to rows - 1 do
+              let acc = ref 0 in
+              for j = 0 to cols - 1 do
+                acc := fix_add !acc (fix_mul data.((i * cols) + j) x.(j))
+              done;
+              vmem.(dst + i) <- !acc
+            done;
+            st.steps <- st.steps + 1;
+            next st
+        | I.Vec_add_const (dst, cid) ->
+          let c = loaded.prog.Program.consts.(cid) in
+          let data = loaded.consts.(cid) in
+          let next = cont_at (pc + 1) in
+          fun st ->
+            for i = 0 to c.Program.cols - 1 do
+              vmem.(dst + i) <- fix_add vmem.(dst + i) data.(i)
+            done;
+            st.steps <- st.steps + 1;
+            next st
+        | I.Vec_relu (off, len) ->
+          let next = cont_at (pc + 1) in
+          fun st ->
+            for i = 0 to len - 1 do
+              if vmem.(off + i) < 0 then vmem.(off + i) <- 0
+            done;
+            st.steps <- st.steps + 1;
+            next st
+        | I.Vec_argmax (rd, off, len) ->
+          let next = cont_at (pc + 1) in
+          fun st ->
+            let best = ref 0 in
+            for i = 1 to len - 1 do
+              if vmem.(off + i) > vmem.(off + !best) then best := i
+            done;
+            st.regs.(rd) <- !best;
+            st.steps <- st.steps + 1;
+            next st
+        | I.Tail_call slot ->
+          fun st ->
+            st.steps <- st.steps + 1;
+            st.tail_slot <- slot;
+            code_tail
+        | I.Exit ->
+          fun st ->
+            st.steps <- st.steps + 1;
+            let r0 = st.regs.(0) in
+            st.result <-
+              (match loaded.guardrail with Some g -> Guardrail.apply g r0 | None -> r0);
+            code_exit
+      in
+      conts.(pc - lo) <- closure
     done;
-    !pc
+    conts.(0)
   in
-  exec_range_ref := exec_range;
-  { closures; loaded }
+  let entry = if n = 0 then fun (_ : st) -> code_done else compile_range 0 (n - 1) in
+  { entry; loaded }
+
+let fresh_st () =
+  { regs = Array.make Insn.n_registers 0;
+    ctxt = Ctxt.create ();
+    now = (fun () -> 0);
+    steps = 0;
+    denied = 0;
+    tail_slot = 0;
+    result = 0 }
 
 let compile loaded =
   let root = compile_unit loaded in
   let cache = Hashtbl.create 4 in
-  Hashtbl.replace cache (Loaded.name loaded) root;
-  { root; cache }
+  Hashtbl.replace cache (Loaded.uid loaded) root;
+  { root; cache; st = fresh_st () }
 
+(* The unit cache is keyed by the loaded instance's unique id, so distinct
+   programs that happen to share a name get distinct compiled units. *)
 let get_unit t loaded =
-  let key = Loaded.name loaded in
-  match Hashtbl.find_opt t.cache key with
-  | Some u when u.loaded == loaded -> u
-  | Some _ | None ->
+  match Hashtbl.find t.cache (Loaded.uid loaded) with
+  | u -> u
+  | exception Not_found ->
     let u = compile_unit loaded in
-    Hashtbl.replace t.cache key u;
+    Hashtbl.replace t.cache (Loaded.uid loaded) u;
     u
+
+let compiled_units t = Hashtbl.length t.cache
 
 let max_tail_depth = 32
 
-let run t ~ctxt ~now =
-  let st =
-    { regs = Array.make Insn.n_registers 0;
-      ctxt;
-      now;
-      steps = 0;
-      denied = 0;
-      tail_slot = 0;
-      result = 0 }
-  in
-  let rec run_unit (u : unit_code) depth =
-    let loaded = u.loaded in
-    Array.fill loaded.Loaded.vmem 0 (Array.length loaded.Loaded.vmem) 0;
-    Array.fill st.regs 0 Insn.n_registers 0;
-    st.result <- 0;
-    let final =
-      let pc = ref 0 in
-      let hi = Array.length u.closures - 1 in
-      while !pc >= 0 && !pc <= hi do
-        st.steps <- st.steps + 1;
-        pc := u.closures.(!pc) st
-      done;
-      !pc
-    in
-    if final = tail_pc then begin
-      if depth >= max_tail_depth then 0
-      else begin
-        match loaded.Loaded.prog_table.(st.tail_slot) with
-        | Some target -> run_unit (get_unit t target) (depth + 1)
-        | None -> 0
-      end
+let rec exec_unit t (u : unit_code) depth =
+  let st = t.st in
+  let loaded = u.loaded in
+  Array.fill loaded.Loaded.vmem 0 (Array.length loaded.Loaded.vmem) 0;
+  Array.fill st.regs 0 Insn.n_registers 0;
+  st.result <- 0;
+  let env = loaded.Loaded.env in
+  env.Helper.ctxt <- st.ctxt;
+  env.Helper.now <- st.now;
+  let final = u.entry st in
+  if final = code_exit then st.result
+  else if final = code_tail then begin
+    if depth >= max_tail_depth then 0
+    else begin
+      match loaded.Loaded.prog_table.(st.tail_slot) with
+      | Some target -> exec_unit t (get_unit t target) (depth + 1)
+      | None -> 0
     end
-    else if final = exit_pc then st.result
-    else 0 (* fell off the end: impossible for verified programs *)
-  in
-  let result = run_unit t.root 0 in
+  end
+  else 0 (* fell off the end: impossible for verified programs *)
+
+let exec t ~ctxt ~now =
+  let st = t.st in
+  st.ctxt <- ctxt;
+  st.now <- now;
+  st.steps <- 0;
+  st.denied <- 0;
+  st.tail_slot <- 0;
+  let result = exec_unit t t.root 0 in
   t.root.loaded.Loaded.runs <- t.root.loaded.Loaded.runs + 1;
   t.root.loaded.Loaded.total_steps <- t.root.loaded.Loaded.total_steps + st.steps;
-  { Interp.result; steps = st.steps; privacy_denied = st.denied }
+  result
+
+let last_steps t = t.st.steps
+let last_privacy_denied t = t.st.denied
+
+let run t ~ctxt ~now =
+  let result = exec t ~ctxt ~now in
+  { Interp.result; steps = t.st.steps; privacy_denied = t.st.denied }
 
 let loaded t = t.root.loaded

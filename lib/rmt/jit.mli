@@ -1,12 +1,20 @@
 (** "JIT" compilation of RMT bytecode (§3.1: "the RMT bytecode can further
     be JIT compiled directly to machine code for efficiency").
 
-    In this OCaml reproduction, JIT = ahead-of-time translation of each
-    instruction into an OCaml closure, eliminating per-step instruction
-    decode.  Semantics are identical to {!Interp} (the test suite checks
-    this differentially on random verified programs); only the dispatch
-    cost differs, which is exactly the interpreted-vs-compiled distinction
-    the paper's architecture cares about. *)
+    In this OCaml reproduction, JIT = ahead-of-time translation of the
+    program into direct-threaded OCaml closures: each compiled instruction
+    tail-calls its successor, so there is no per-step driver loop, no pc
+    register, and no instruction decode.  Straight-line runs of
+    register-only instructions (Ld_imm/Mov/Alu/Alu_imm) are fused into a
+    single closure.  Semantics — including exact dynamic step counts — are
+    identical to {!Interp} (the test suite checks this differentially on
+    random verified programs).
+
+    Steady-state execution is allocation-free: the run state, helper
+    environment, helper/model argument buffers and Mat_mul snapshot scratch
+    are all preallocated (per {!compile} / per {!Loaded.t}).  One compiled
+    instance is consequently not re-entrant: do not invoke the same
+    [compiled] from within one of its own helpers or actions. *)
 
 type compiled
 
@@ -17,4 +25,19 @@ val compile : Loaded.t -> compiled
     recompilation. *)
 
 val run : compiled -> ctxt:Ctxt.t -> now:(unit -> int) -> Interp.outcome
+
+val exec : compiled -> ctxt:Ctxt.t -> now:(unit -> int) -> int
+(** Like {!run} but returns only the action result, performing zero heap
+    allocation in steady state.  [last_steps]/[last_privacy_denied] expose
+    the rest of the outcome of the most recent [exec]/[run]. *)
+
+val last_steps : compiled -> int
+val last_privacy_denied : compiled -> int
+
+val compiled_units : compiled -> int
+(** Number of distinct program units this instance has compiled (the root
+    plus each tail-call target reached so far).  Units are cached by the
+    loaded instance's unique id, so same-named but distinct programs never
+    share or evict each other's units. *)
+
 val loaded : compiled -> Loaded.t

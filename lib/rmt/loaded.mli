@@ -9,6 +9,7 @@
 
 type t = {
   prog : Program.t;
+  uid : int;                         (** unique per linked instance *)
   maps : Map_store.t array;
   models : Model_store.handle array;
   store : Model_store.t;
@@ -19,9 +20,18 @@ type t = {
   rng : Kml.Rng.t;                   (** noise source for DP helpers *)
   consts : int array array;          (** raw Q16.16 constant data *)
   vmem : int array;                  (** scratchpad, zeroed per invocation *)
+  env : Helper.env;                  (** reusable helper env; engines set ctxt/now per run *)
+  call_args : int array array;       (** helper-argument scratch, indexed by arity 0..5 *)
+  ml_args : int array array;         (** feature scratch, one per model slot *)
+  matmul_src : int array;            (** [Mat_mul] src-snapshot scratch (max const cols) *)
   mutable runs : int;
   mutable total_steps : int;
 }
+
+(** The scratch buffers ([env], [call_args], [ml_args], [matmul_src]) make
+    steady-state execution allocation-free.  They are only valid for the
+    duration of one instruction: helpers and [Fn] models must not retain
+    the argument array they are passed. *)
 
 val link :
   ?rng:Kml.Rng.t ->
@@ -38,3 +48,4 @@ val link :
 
 val bind_tail_call : t -> slot:int -> t -> unit
 val name : t -> string
+val uid : t -> int

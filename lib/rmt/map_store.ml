@@ -57,13 +57,14 @@ let lru_touch s node =
 let lookup t key =
   match t.repr with
   | Arr a -> if key >= 0 && key < Array.length a then a.(key) else 0
-  | Hash h -> (match Hashtbl.find_opt h key with Some v -> v | None -> 0)
+  (* exception-style find: no [Some] boxing on the datapath hot path *)
+  | Hash h -> (match Hashtbl.find h key with v -> v | exception Not_found -> 0)
   | Lru s ->
-    (match Hashtbl.find_opt s.nodes key with
-     | Some node ->
+    (match Hashtbl.find s.nodes key with
+     | node ->
        lru_touch s node;
        node.value
-     | None -> 0)
+     | exception Not_found -> 0)
   | Ring _ -> 0
 
 let mem t key =

@@ -20,22 +20,39 @@ type entry = {
   mutable hits : int;
 }
 
+(* Lookup structure: entries whose patterns are all Eq/Any are "exact" and
+   indexed by a hash of their Eq-position bitmask plus the Eq values, giving
+   O(1) dispatch per distinct wildcard shape.  Entries with Mask/Between
+   patterns stay on a sorted scan list.  Both candidate sets are consulted
+   and the best entry (priority desc, insertion order asc) wins, so the
+   observable match semantics are identical to a full sorted scan. *)
 type t = {
   name : string;
   match_keys : int array;
   default : action;
-  mutable entries : entry list; (* kept sorted: priority desc, seq asc *)
+  mutable entries : entry list; (* all entries; kept sorted: priority desc, seq asc *)
+  mutable scan_entries : entry list; (* non-exact entries, same order *)
+  index : (int, entry list) Hashtbl.t; (* bucket lists sorted best-first *)
+  mutable group_masks : int array; (* distinct Eq-position bitmasks in the index *)
+  fields : int array; (* per-lookup scratch; one slot per match key *)
   mutable next_id : int;
   mutable next_seq : int;
   mutable total_hits : int;
   mutable default_hits : int;
 }
 
+(* Bitmask bookkeeping needs one bit per match key. *)
+let max_indexable_arity = 60
+
 let create ~name ~match_keys ~default =
   { name;
     match_keys = Array.copy match_keys;
     default;
     entries = [];
+    scan_entries = [];
+    index = Hashtbl.create 16;
+    group_masks = [||];
+    fields = Array.make (Array.length match_keys) 0;
     next_id = 0;
     next_seq = 0;
     total_hits = 0;
@@ -46,6 +63,98 @@ let match_keys t = Array.copy t.match_keys
 
 let entry_order a b =
   match compare b.priority a.priority with 0 -> compare a.seq b.seq | c -> c
+
+let pattern_matches p v =
+  match p with
+  | Any -> true
+  | Eq x -> v = x
+  | Mask { value; mask } -> v land mask = value land mask
+  | Between (lo, hi) -> v >= lo && v <= hi
+
+(* top level (not a local closure) so matching allocates nothing *)
+let rec match_from patterns (fields : int array) i n =
+  i >= n
+  || (pattern_matches (Array.unsafe_get patterns i) (Array.unsafe_get fields i)
+      && match_from patterns fields (i + 1) n)
+
+let entry_matches fields e = match_from e.patterns fields 0 (Array.length fields)
+
+(* Sentinel for "no match" on the hot path: avoids option boxing per
+   lookup.  Compared physically; loses to every real entry. *)
+let no_entry =
+  { id = -1; priority = min_int; seq = max_int; patterns = [||]; action = Const 0; hits = 0 }
+
+let rec first_match fields = function
+  | [] -> no_entry
+  | e :: rest -> if entry_matches fields e then e else first_match fields rest
+
+let better a b =
+  if a == no_entry then b
+  else if b == no_entry then a
+  else if entry_order a b <= 0 then a
+  else b
+
+(* Eq-position bitmask of an exact entry, or -1 if the entry needs a scan. *)
+let exact_mask patterns =
+  let n = Array.length patterns in
+  if n > max_indexable_arity then -1
+  else begin
+    let rec go i acc =
+      if i >= n then acc
+      else
+        match patterns.(i) with
+        | Eq _ -> go (i + 1) (acc lor (1 lsl i))
+        | Any -> go (i + 1) acc
+        | Mask _ | Between _ -> -1
+    in
+    go 0 0
+  end
+
+(* Deterministic hash of (mask, values at mask positions).  Collisions are
+   fine: bucket candidates are re-verified with [entry_matches].  Written as
+   top-level accumulator loops so probing allocates nothing. *)
+let rec hash_fields (fields : int array) i m h =
+  if m = 0 then h
+  else
+    let h =
+      if m land 1 <> 0 then ((h * 0x01000193) + Array.unsafe_get fields i) land max_int else h
+    in
+    hash_fields fields (i + 1) (m lsr 1) h
+
+let rec hash_patterns patterns i m h =
+  if m = 0 then h
+  else
+    let h =
+      if m land 1 <> 0 then
+        ((h * 0x01000193)
+         + (match patterns.(i) with Eq v -> v | Any | Mask _ | Between _ -> 0))
+        land max_int
+      else h
+    in
+    hash_patterns patterns (i + 1) (m lsr 1) h
+
+let index_key_fields mask fields = hash_fields fields 0 mask ((mask * 0x9E3779B1) land max_int)
+
+let index_key_patterns mask patterns =
+  hash_patterns patterns 0 mask ((mask * 0x9E3779B1) land max_int)
+
+let rebuild_lookup t =
+  Hashtbl.reset t.index;
+  t.scan_entries <- [];
+  let masks = ref [] in
+  (* Iterate worst-first so that consing yields best-first lists. *)
+  List.iter
+    (fun e ->
+      let mask = exact_mask e.patterns in
+      if mask < 0 then t.scan_entries <- e :: t.scan_entries
+      else begin
+        if not (List.mem mask !masks) then masks := mask :: !masks;
+        let key = index_key_patterns mask e.patterns in
+        let bucket = match Hashtbl.find_opt t.index key with Some b -> b | None -> [] in
+        Hashtbl.replace t.index key (e :: bucket)
+      end)
+    (List.rev t.entries);
+  t.group_masks <- Array.of_list !masks
 
 let insert t ?(priority = 0) ~patterns action =
   if Array.length patterns <> Array.length t.match_keys then
@@ -61,12 +170,15 @@ let insert t ?(priority = 0) ~patterns action =
   t.next_id <- t.next_id + 1;
   t.next_seq <- t.next_seq + 1;
   t.entries <- List.sort entry_order (entry :: t.entries);
+  rebuild_lookup t;
   entry.id
 
 let remove t id =
   let before = List.length t.entries in
   t.entries <- List.filter (fun e -> e.id <> id) t.entries;
-  List.length t.entries < before
+  let removed = List.length t.entries < before in
+  if removed then rebuild_lookup t;
+  removed
 
 let set_action t id action =
   match List.find_opt (fun e -> e.id = id) t.entries with
@@ -77,39 +189,59 @@ let set_action t id action =
 
 let entry_count t = List.length t.entries
 
-let pattern_matches p v =
-  match p with
-  | Any -> true
-  | Eq x -> v = x
-  | Mask { value; mask } -> v land mask = value land mask
-  | Between (lo, hi) -> v >= lo && v <= hi
+let read_fields t ~ctxt =
+  let fields = t.fields in
+  for i = 0 to Array.length t.match_keys - 1 do
+    fields.(i) <- Ctxt.get ctxt t.match_keys.(i)
+  done;
+  fields
 
-let entry_matches fields e =
-  let n = Array.length fields in
-  let rec go i = i >= n || (pattern_matches e.patterns.(i) fields.(i) && go (i + 1)) in
-  go 0
+(* Probe one index bucket per wildcard shape, carrying the best candidate
+   so far; top level (not a closure) so the hot path allocates nothing. *)
+let rec best_indexed t fields i best =
+  if i >= Array.length t.group_masks then best
+  else begin
+    let mask = Array.unsafe_get t.group_masks i in
+    let candidate =
+      match Hashtbl.find t.index (index_key_fields mask fields) with
+      | bucket -> first_match fields bucket
+      | exception Not_found -> no_entry
+    in
+    best_indexed t fields (i + 1) (better best candidate)
+  end
 
-let find_entry t ~ctxt =
-  let fields = Array.map (fun k -> Ctxt.get ctxt k) t.match_keys in
-  List.find_opt (entry_matches fields) t.entries
+(* Best matching entry ([no_entry] if none): index buckets, then the
+   Mask/Between scan list, best overall by [entry_order]. *)
+let find_entry t fields =
+  better (best_indexed t fields 0 no_entry) (first_match fields t.scan_entries)
 
 let run_action action ~ctxt ~now =
   match action with
-  | Run vm -> (Vm.invoke vm ~ctxt ~now).Interp.result
+  | Run vm -> Vm.invoke_result vm ~ctxt ~now
   | Const v -> v
   | Host f -> f ctxt
 
 let lookup t ~ctxt ~now =
   t.total_hits <- t.total_hits + 1;
-  match find_entry t ~ctxt with
-  | Some e ->
-    e.hits <- e.hits + 1;
-    run_action e.action ~ctxt ~now
-  | None ->
+  let e = find_entry t (read_fields t ~ctxt) in
+  if e == no_entry then begin
     t.default_hits <- t.default_hits + 1;
     run_action t.default ~ctxt ~now
+  end
+  else begin
+    e.hits <- e.hits + 1;
+    run_action e.action ~ctxt ~now
+  end
 
-let lookup_entry t ~ctxt = Option.map (fun e -> e.id) (find_entry t ~ctxt)
+let lookup_entry t ~ctxt =
+  let e = find_entry t (read_fields t ~ctxt) in
+  if e == no_entry then None else Some e.id
+
+(* Reference lookup: full scan of the sorted entry list.  Kept as the
+   differential-test oracle for the indexed path. *)
+let lookup_entry_linear t ~ctxt =
+  let e = first_match (read_fields t ~ctxt) t.entries in
+  if e == no_entry then None else Some e.id
 let hits t = t.total_hits
 let default_hits t = t.default_hits
 
@@ -119,7 +251,8 @@ let entry_hits t id =
 let clear t =
   t.entries <- [];
   t.total_hits <- 0;
-  t.default_hits <- 0
+  t.default_hits <- 0;
+  rebuild_lookup t
 
 let pp_pattern fmt = function
   | Any -> Format.fprintf fmt "*"

@@ -7,7 +7,14 @@
     matching entry (insertion order breaks ties), and runs its action.
     Entries can be inserted and removed at runtime through the control
     plane — "statically encoded in the RMT program or dynamically inserted
-    or removed via an API at runtime". *)
+    or removed via an API at runtime".
+
+    Lookup is indexed: entries whose patterns are all [Eq]/[Any] are hashed
+    on their matched-field tuple (one hash probe per distinct wildcard
+    shape), so exact-match tables dispatch in O(1) regardless of entry
+    count; [Mask]/[Between] entries fall back to a priority-ordered scan.
+    Field reads go through a preallocated scratch buffer, so a lookup
+    allocates nothing and performs exactly one {!Ctxt.get} per match key. *)
 
 type pattern =
   | Any
@@ -40,6 +47,11 @@ val lookup : t -> ctxt:Ctxt.t -> now:(unit -> int) -> int
 
 val lookup_entry : t -> ctxt:Ctxt.t -> entry_id option
 (** Which entry would fire, without running its action. *)
+
+val lookup_entry_linear : t -> ctxt:Ctxt.t -> entry_id option
+(** Reference lookup: full priority-ordered scan, no index.  Same answer as
+    {!lookup_entry} by construction; kept as the oracle for the indexed
+    path's differential tests. *)
 
 val hits : t -> int
 val default_hits : t -> int

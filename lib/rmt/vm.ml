@@ -38,26 +38,38 @@ let limiter_for t ~now =
   end;
   t.limiter_state
 
+let compiled_for t =
+  match t.compiled with
+  | Some c -> c
+  | None ->
+    let c = Jit.compile t.loaded in
+    t.compiled <- Some c;
+    c
+
 let invoke t ~ctxt ~now =
   let outcome =
     match t.engine with
     | Interpreted -> Interp.run t.loaded ~ctxt ~now
-    | Jit_compiled ->
-      let compiled =
-        match t.compiled with
-        | Some c -> c
-        | None ->
-          let c = Jit.compile t.loaded in
-          t.compiled <- Some c;
-          c
-      in
-      Jit.run compiled ~ctxt ~now
+    | Jit_compiled -> Jit.run (compiled_for t) ~ctxt ~now
   in
   match limiter_for t ~now with
   | None -> outcome
   | Some bucket ->
     let granted = Rate_limit.grant bucket ~now:(now ()) ~request:outcome.Interp.result in
     { outcome with Interp.result = granted }
+
+let invoke_result t ~ctxt ~now =
+  let result =
+    match t.engine with
+    | Interpreted -> (Interp.run t.loaded ~ctxt ~now).Interp.result
+    | Jit_compiled -> Jit.exec (compiled_for t) ~ctxt ~now
+  in
+  match limiter_for t ~now with
+  | None -> result
+  | Some bucket -> Rate_limit.grant bucket ~now:(now ()) ~request:result
+
+let jit_units t =
+  match t.compiled with Some c -> Jit.compiled_units c | None -> 0
 
 let invocations t = t.loaded.Loaded.runs
 let total_steps t = t.loaded.Loaded.total_steps

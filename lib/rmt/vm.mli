@@ -23,6 +23,15 @@ val invoke : t -> ctxt:Ctxt.t -> now:(unit -> int) -> Interp.outcome
 (** Run once.  When the program declares [Rate_limited], the outcome's
     [result] is the number of granted units (<= the program's request). *)
 
+val invoke_result : t -> ctxt:Ctxt.t -> now:(unit -> int) -> int
+(** Like {!invoke} but returns only the action result; on the JIT engine
+    this performs zero heap allocation in steady state (no outcome record
+    is built).  Table actions use this as their hot dispatch path. *)
+
+val jit_units : t -> int
+(** Program units the JIT has compiled for this VM (root plus tail-call
+    targets reached); 0 when never compiled. *)
+
 val invocations : t -> int
 val total_steps : t -> int
 val throttled_units : t -> int

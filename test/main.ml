@@ -5,6 +5,7 @@ let () =
          Test_kml.suite;
          Test_models.suite;
          Test_rmt_vm.suite;
+         Test_datapath.suite;
          Test_rmt_infra.suite;
          Test_ksim.suite;
          Test_sched.suite;
