@@ -1,4 +1,5 @@
-.PHONY: all build test bench table1 table2 ablations micro bench-json perf-check examples clean
+.PHONY: all build test bench table1 table2 ablations micro bench-json perf-check \
+        bench-macro perf-check-macro check examples clean
 
 all: build
 
@@ -28,6 +29,23 @@ bench-json:
 
 perf-check:
 	dune exec bench/main.exe perf-check bench/BASELINE_micro.json
+
+# Macro harness: times table1/table2/ablations at domains=1 vs the pool
+# width (RKD_DOMAINS or core count) and writes BENCH_macro.json.
+bench-macro:
+	dune exec bench/main.exe macro BENCH_macro.json
+
+# Fails if the parallel experiment engine is slower than sequential
+# (tolerance scales down on single-core machines; see bench/main.ml).
+perf-check-macro:
+	dune exec bench/main.exe perf-check-macro
+
+# The umbrella CI gate: warning-clean build, full test suite, micro
+# perf regression check.
+check:
+	dune build @all
+	dune runtest --force --no-buffer
+	$(MAKE) perf-check
 
 examples:
 	dune exec examples/quickstart.exe

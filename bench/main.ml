@@ -12,6 +12,13 @@
      bench/main.exe perf-check [base] -- fail if any fig1/* microbench is
                                          >25% slower than the baseline file
                                          (default: bench/BASELINE_micro.json)
+     bench/main.exe macro [path]      -- time table1/table2/ablations at
+                                         domains=1 vs domains=N (RKD_DOMAINS
+                                         or the core count) and write the
+                                         rkd-bench-macro/1 json
+                                         (default path: BENCH_macro.json)
+     bench/main.exe perf-check-macro  -- fail if the parallel experiment
+                                         harness is slower than sequential
 
    The Bechamel suite carries one Test.make group per paper table (the
    per-invocation datapath cost behind that table's system) plus the
@@ -202,6 +209,98 @@ let run_perf_check baseline_path =
   else Format.printf "perf-check: ok@."
 
 (* ------------------------------------------------------------------ *)
+(* Macro benchmark: the experiment layer at domains=1 vs domains=N     *)
+(* ------------------------------------------------------------------ *)
+
+let quiet_ablations () =
+  ignore (Rkd.Experiment.ablation_lean_monitoring ());
+  ignore (Rkd.Experiment.ablation_window ());
+  ignore (Rkd.Experiment.ablation_quantization ());
+  ignore (Rkd.Experiment.ablation_adaptivity ());
+  ignore (Rkd.Experiment.ablation_distillation ());
+  ignore (Rkd.Experiment.ablation_privacy ());
+  ignore (Rkd.Experiment.ablation_model_family ());
+  ignore (Rkd.Experiment.ablation_nas ());
+  ignore (Rkd.Experiment.ablation_granularity ());
+  ignore (Rkd.Experiment.ablation_cross_app ());
+  ignore (Rkd.Experiment.ablation_online_training ())
+
+let macro_targets =
+  [ ("table1", fun () -> ignore (Rkd.Experiment.table1 ()));
+    ("table2", fun () -> ignore (Rkd.Experiment.table2 ()));
+    ("ablations", quiet_ablations) ]
+
+type macro_row = { m_name : string; wall_ms : float; wall_ms_seq : float; speedup : float }
+
+(* Wall-clock, not [Sys.time]: CPU time sums across domains, so the
+   parallel harness would look no faster even when it is. *)
+let wall_ms f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  (Unix.gettimeofday () -. t0) *. 1e3
+
+let measure_macro ~domains =
+  List.map
+    (fun (m_name, f) ->
+      Par.set_global_domains 1;
+      let wall_ms_seq = wall_ms f in
+      Par.set_global_domains domains;
+      let wall_ms = wall_ms f in
+      Format.printf "  %-12s %10.0f ms seq %10.0f ms par (domains=%d)  %.2fx@." m_name
+        wall_ms_seq wall_ms domains (wall_ms_seq /. wall_ms);
+      { m_name; wall_ms; wall_ms_seq; speedup = wall_ms_seq /. wall_ms })
+    macro_targets
+
+let write_macro_json path ~domains rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": \"rkd-bench-macro/1\",\n  \"domains\": %d,\n  \"results\": [\n"
+    domains;
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"wall_ms\": %.1f, \"wall_ms_seq\": %.1f, \"speedup\": %.2f }%s\n"
+        r.m_name r.wall_ms r.wall_ms_seq r.speedup
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc
+
+let run_macro path =
+  let domains = Par.default_domains () in
+  Format.printf "macro benchmark: experiment harness at domains=1 vs domains=%d@." domains;
+  let rows = measure_macro ~domains in
+  write_macro_json path ~domains rows;
+  Format.printf "wrote %d results to %s@." (List.length rows) path
+
+(* The gate asks only that the pool never loses to the sequential
+   harness.  On a single hardware thread domains=N degenerates to
+   timesharing plus multi-domain GC overhead, so the tolerance is looser
+   there; with real cores the parallel run must at least break even. *)
+let run_perf_check_macro () =
+  let domains = Par.default_domains () in
+  let cores = Domain.recommended_domain_count () in
+  let min_speedup = if cores > 1 && domains > 1 then 0.95 else 0.70 in
+  Format.printf
+    "perf-check-macro: domains=%d on %d hardware thread%s (fail below %.2fx speedup)@." domains
+    cores
+    (if cores = 1 then "" else "s")
+    min_speedup;
+  let rows = measure_macro ~domains in
+  let failed = ref false in
+  List.iter
+    (fun r ->
+      let bad = r.speedup < min_speedup in
+      if bad then failed := true;
+      Format.printf "  %-12s %8.2fx  %s@." r.m_name r.speedup (if bad then "FAIL" else "ok"))
+    rows;
+  if !failed then begin
+    Format.printf "perf-check-macro: FAILED@.";
+    exit 1
+  end
+  else Format.printf "perf-check-macro: ok@."
+
+(* ------------------------------------------------------------------ *)
 (* Table / ablation harness                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -251,6 +350,8 @@ let () =
   | "micro" -> run_micro ()
   | "json" -> run_json (arg 2 "BENCH_micro.json")
   | "perf-check" -> run_perf_check (arg 2 "bench/BASELINE_micro.json")
+  | "macro" -> run_macro (arg 2 "BENCH_macro.json")
+  | "perf-check-macro" -> run_perf_check_macro ()
   | "table1" -> run_table1 ()
   | "table2" -> run_table2 ()
   | "ablations" -> run_ablations ()
@@ -265,6 +366,7 @@ let () =
     run_micro ()
   | other ->
     Format.eprintf
-      "unknown mode %s (expected micro|json|perf-check|table1|table2|ablations|overhead|all)@."
+      "unknown mode %s (expected \
+       micro|json|perf-check|macro|perf-check-macro|table1|table2|ablations|overhead|all)@."
       other;
     exit 1

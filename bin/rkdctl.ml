@@ -131,16 +131,37 @@ let assemble_cmd =
 
 let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> f (); 0) $ const ())
 
+let domains_arg =
+  let doc =
+    "Experiment-engine parallelism: number of domains in the shared pool (1 = sequential). \
+     Defaults to $(b,RKD_DOMAINS) or the machine's core count."
+  in
+  Arg.(value & opt (some int) None & info [ "d"; "domains" ] ~docv:"N" ~doc)
+
+(* Table/ablation subcommands run on the domain pool and print their
+   elapsed wall time so --domains speedups are visible interactively. *)
+let timed name doc f =
+  let run domains =
+    (match domains with Some n -> Par.set_global_domains n | None -> ());
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Format.printf "[%s] elapsed %.2f s (domains=%d)@." name
+      (Unix.gettimeofday () -. t0)
+      (Par.global_domains ());
+    0
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ domains_arg)
+
 let table1_cmd =
-  simple "table1" "regenerate Table 1 (page prefetching)" (fun () ->
+  timed "table1" "regenerate Table 1 (page prefetching)" (fun () ->
       Rkd.Report.print_table1 Format.std_formatter (Rkd.Experiment.table1 ()))
 
 let table2_cmd =
-  simple "table2" "regenerate Table 2 (scheduler mimicry)" (fun () ->
+  timed "table2" "regenerate Table 2 (scheduler mimicry)" (fun () ->
       Rkd.Report.print_table2 Format.std_formatter (Rkd.Experiment.table2 ()))
 
 let ablations_cmd =
-  simple "ablations" "run ablations A-F" (fun () ->
+  timed "ablations" "run ablations A-F" (fun () ->
       Rkd.Report.print_lean Format.std_formatter (Rkd.Experiment.ablation_lean_monitoring ());
       Rkd.Report.print_window Format.std_formatter (Rkd.Experiment.ablation_window ());
       Rkd.Report.print_quant Format.std_formatter (Rkd.Experiment.ablation_quantization ());
@@ -160,7 +181,7 @@ let overhead_cmd =
       Rkd.Report.print_overhead Format.std_formatter (Rkd.Experiment.vm_overhead ()))
 
 let shapes_cmd =
-  simple "shapes" "regenerate both tables and evaluate the shape checks" (fun () ->
+  timed "shapes" "regenerate both tables and evaluate the shape checks" (fun () ->
       let t1 = Rkd.Experiment.table1 () in
       let t2 = Rkd.Experiment.table2 () in
       Rkd.Report.print_table1 Format.std_formatter t1;

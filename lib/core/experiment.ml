@@ -1,3 +1,13 @@
+(* Every fan-out below runs on the shared domain pool ([Par.global]).
+   The determinism contract: each task is a pure function of the seed and
+   its task identity — tasks build their own traces, prefetchers and Rng
+   substreams ([Kml.Rng.split base index]) instead of sharing advancing
+   state — so results are bit-identical at every pool width, including
+   the sequential domains=1 fallback.  [test/test_par.ml] enforces this. *)
+
+let pmap f xs = Par.parallel_map (Par.global ()) f xs
+let ptasks fs = Par.run_tasks (Par.global ()) fs
+
 (* ------------------------------------------------------------------ *)
 (* Table 1 — page prefetching                                           *)
 (* ------------------------------------------------------------------ *)
@@ -30,20 +40,26 @@ let row_of_result benchmark system (r : Ksim.Mem_sim.result) =
     faults = r.Ksim.Mem_sim.faults }
 
 let table1 ?(engine = Rmt.Vm.Jit_compiled) ?(seed = 42) () =
-  let ours = Prefetch_rmt.create ~engine ~seed () in
-  let systems =
-    [ ("linux", Ksim.Readahead.create ());
-      ("leap", Ksim.Leap.create ~params:{ Ksim.Leap.default_params with depth = 4 } ());
-      ("rmt-ml", Prefetch_rmt.prefetcher ours) ]
+  (* 3 prefetchers x 2 workloads, one pool task each.  Every task builds
+     its own trace and prefetcher so nothing is shared across domains. *)
+  let combos =
+    List.concat_map
+      (fun benchmark ->
+        List.map (fun system -> (benchmark, system)) [ "linux"; "leap"; "rmt-ml" ])
+      [ "video-resize"; "matrix-conv" ]
   in
-  List.concat_map
-    (fun (benchmark, trace) ->
-      List.map
-        (fun (name, prefetcher) ->
-          let r = Ksim.Mem_sim.run ~config:mem_config ~prefetcher trace in
-          row_of_result benchmark name r)
-        systems)
-    (table1_traces ~seed)
+  pmap
+    (fun (benchmark, system) ->
+      let trace = List.assoc benchmark (table1_traces ~seed) in
+      let prefetcher =
+        match system with
+        | "linux" -> Ksim.Readahead.create ()
+        | "leap" -> Ksim.Leap.create ~params:{ Ksim.Leap.default_params with depth = 4 } ()
+        | _ -> Prefetch_rmt.prefetcher (Prefetch_rmt.create ~engine ~seed ())
+      in
+      let r = Ksim.Mem_sim.run ~config:mem_config ~prefetcher trace in
+      row_of_result benchmark system r)
+    combos
 
 (* ------------------------------------------------------------------ *)
 (* Table 2 — scheduler mimicry                                          *)
@@ -72,14 +88,11 @@ let table2_benchmark ~seed benchmark =
   let rng = Kml.Rng.create seed in
   let ds, linux = Ksim.Sched_sim.collect ~workload:benchmark () in
   let jct_linux = float_of_int linux.Ksim.Sched_sim.jct_ns /. 1e9 in
-  (* Full-featured model. *)
+  (* The training chain is rng-sequential (full model -> permutation
+     ranking -> lean model), but the two mimic simulations only read
+     their trained models, so they fan out on the pool. *)
   let mlp_full, acc_full, _train, test = train_mimic ~rng ds in
   let q_full = Kml.Quantize.Qmlp.of_mlp mlp_full in
-  let full = Sched_rmt.create ~model:(Rmt.Model_store.Qmlp q_full) () in
-  let jct_full =
-    jct_with_decider ~workload:benchmark ~decider_name:"mlp-full" (Sched_rmt.decider full)
-  in
-  (* Lean model: top-2 features by permutation importance. *)
   let ranking =
     Kml.Feature_rank.permutation ~rng ~predict:(Kml.Mlp.predict mlp_full) test
   in
@@ -87,16 +100,26 @@ let table2_benchmark ~seed benchmark =
   let ds_lean = Kml.Dataset.project ds ~keep in
   let mlp_lean, acc_lean, _, _ = train_mimic ~rng ds_lean in
   let q_lean = Kml.Quantize.Qmlp.of_mlp mlp_lean in
-  let lean = Sched_rmt.create ~keep ~model:(Rmt.Model_store.Qmlp q_lean) () in
-  let jct_lean =
-    jct_with_decider ~workload:benchmark ~decider_name:"mlp-lean" (Sched_rmt.decider lean)
+  let jcts =
+    ptasks
+      [ (fun () ->
+          let full = Sched_rmt.create ~model:(Rmt.Model_store.Qmlp q_full) () in
+          jct_with_decider ~workload:benchmark ~decider_name:"mlp-full"
+            (Sched_rmt.decider full));
+        (fun () ->
+          let lean = Sched_rmt.create ~keep ~model:(Rmt.Model_store.Qmlp q_lean) () in
+          jct_with_decider ~workload:benchmark ~decider_name:"mlp-lean"
+            (Sched_rmt.decider lean)) ]
+  in
+  let jct_full, jct_lean =
+    match jcts with [ f; l ] -> (f, l) | _ -> assert false
   in
   [ { benchmark; system = "mlp-full"; accuracy_pct = 100.0 *. acc_full; jct_s = jct_full };
     { benchmark; system = "mlp-lean"; accuracy_pct = 100.0 *. acc_lean; jct_s = jct_lean };
     { benchmark; system = "linux"; accuracy_pct = 100.0; jct_s = jct_linux } ]
 
 let table2 ?(seed = 42) () =
-  List.concat_map (fun b -> table2_benchmark ~seed b) Ksim.Workload_cpu.names
+  List.concat (pmap (fun b -> table2_benchmark ~seed b) Ksim.Workload_cpu.names)
 
 (* ------------------------------------------------------------------ *)
 (* Ablation A — lean monitoring                                         *)
@@ -111,8 +134,12 @@ let ablation_lean_monitoring ?(seed = 42) () =
   let ranking =
     Kml.Feature_rank.permutation ~rng ~predict:(Kml.Mlp.predict mlp_full) test
   in
-  List.map
-    (fun k ->
+  (* Each feature-count trains from its own index-keyed Rng substream
+     (rather than threading one advancing rng through the sweep), so the
+     five trainings are order-independent and fan out on the pool. *)
+  pmap
+    (fun (idx, k) ->
+      let rng = Kml.Rng.split rng idx in
       let keep = Kml.Feature_rank.top_k ranking k in
       let ds_k = Kml.Dataset.project ds ~keep in
       let mlp_k, acc_k, _, _ = train_mimic ~rng ds_k in
@@ -125,7 +152,7 @@ let ablation_lean_monitoring ?(seed = 42) () =
       { n_features = k;
         accuracy_pct = 100.0 *. acc_k;
         reads_per_decision = stats.Sched_rmt.reads_per_decision })
-    [ 15; 8; 4; 2; 1 ]
+    (List.mapi (fun idx k -> (idx, k)) [ 15; 8; 4; 2; 1 ])
 
 (* ------------------------------------------------------------------ *)
 (* Ablation B — online training window                                  *)
@@ -134,9 +161,9 @@ let ablation_lean_monitoring ?(seed = 42) () =
 type window_row = { retrain_period : int; accuracy_pct : float; coverage_pct : float }
 
 let ablation_window ?(seed = 42) () =
-  let trace = Ksim.Workload_mem.matrix_conv ~pid:1 () in
-  List.map
+  pmap
     (fun retrain_period ->
+      let trace = Ksim.Workload_mem.matrix_conv ~pid:1 () in
       let params = { Prefetch_rmt.default_params with retrain_period } in
       let ours = Prefetch_rmt.create ~params ~seed () in
       let r =
@@ -154,7 +181,7 @@ let ablation_window ?(seed = 42) () =
 type quant_row = { benchmark : string; float_acc_pct : float; quant_acc_pct : float }
 
 let ablation_quantization ?(seed = 42) () =
-  List.map
+  pmap
     (fun benchmark ->
       let rng = Kml.Rng.create seed in
       let ds, _ = Ksim.Sched_sim.collect ~workload:benchmark () in
@@ -176,10 +203,13 @@ type adapt_row = {
 }
 
 let ablation_adaptivity ?(seed = 42) () =
-  let video = Ksim.Workload_mem.video_resize ~rng:(Kml.Rng.create seed) ~pid:1 () in
-  let conv = Ksim.Workload_mem.matrix_conv ~pid:1 () in
-  List.concat_map
+  (* One pool task per adaptivity setting; the video -> conv phase pair
+     inside a task is deliberately sequential state-carrying. *)
+  List.concat
+  @@ pmap
     (fun online ->
+      let video = Ksim.Workload_mem.video_resize ~rng:(Kml.Rng.create seed) ~pid:1 () in
+      let conv = Ksim.Workload_mem.matrix_conv ~pid:1 () in
       let ours = Prefetch_rmt.create ~seed () in
       let prefetcher = Prefetch_rmt.prefetcher ours in
       (* Phase 1 always trains online on video; at the shift the model is
@@ -217,11 +247,17 @@ let ablation_distillation ?(seed = 42) () =
   let teacher = Kml.Mlp.predict mlp in
   let extra = Kml.Distill.augment_inputs ~rng train ~n:(2 * Kml.Dataset.length train) in
   let student = Kml.Distill.to_tree ~teacher ~extra_inputs:extra train in
-  let acc_student =
-    Kml.Metrics.accuracy_of ~predict:(Kml.Decision_tree.predict student) test
-  in
-  let fidelity =
-    Kml.Distill.fidelity ~student:(Kml.Decision_tree.predict student) ~teacher test
+  (* The two student evaluations are independent reads of the trained
+     tree; score them as parallel tasks. *)
+  let acc_student, fidelity =
+    match
+      ptasks
+        [ (fun () -> Kml.Metrics.accuracy_of ~predict:(Kml.Decision_tree.predict student) test);
+          (fun () ->
+            Kml.Distill.fidelity ~student:(Kml.Decision_tree.predict student) ~teacher test) ]
+    with
+    | [ a; f ] -> (a, f)
+    | _ -> assert false
   in
   let teacher_cost = Kml.Model_cost.of_mlp_architecture (Kml.Mlp.architecture mlp) in
   let student_cost = Kml.Model_cost.of_tree student in
@@ -265,7 +301,7 @@ let privacy_program ~helper_id ~budget_milli =
 let ablation_privacy ?(seed = 42) () =
   let queries = 200 in
   let budget_milli = 100_000 in
-  List.map
+  pmap
     (fun epsilon_milli ->
       let control = Rmt.Control.create ~seed () in
       (* Register an aggregate helper charging [epsilon_milli] per query. *)
@@ -412,23 +448,32 @@ let ablation_model_family ?(seed = 42) () =
       f_memory_words = c.Kml.Model_cost.memory_words;
       train_side }
   in
-  let tree = Kml.Decision_tree.train train in
-  let mlp = Kml.Mlp.train ~params:mlp_params ~rng train in
-  let qmlp = Kml.Quantize.Qmlp.of_mlp mlp in
-  let svm = Kml.Linear.Svm.train ~rng train in
-  let perceptron = Kml.Linear.Perceptron.train ~epochs:20 ~rng train in
-  (* The perceptron's cost is that of a linear scorer over 15 features. *)
-  let perceptron_cost =
-    { Kml.Model_cost.macs = 2 * 16; comparisons = 2; memory_words = 4 * 16 }
-  in
-  [ row "tree" (Kml.Decision_tree.predict tree) (Kml.Model_cost.of_tree tree)
-      "kernel (integer)";
-    row "qmlp" (Kml.Quantize.Qmlp.predict qmlp) (Kml.Model_cost.of_qmlp qmlp)
-      "userspace (float)";
-    row "int-svm" (Kml.Linear.Svm.predict svm) (Kml.Model_cost.of_svm svm)
-      "userspace (float)";
-    row "perceptron" (Kml.Linear.Perceptron.predict perceptron) perceptron_cost
-      "kernel (integer)" ]
+  (* The four family trainings are independent given the split; each
+     stochastic trainer draws from its own index-keyed substream. *)
+  ptasks
+    [ (fun () ->
+        let tree = Kml.Decision_tree.train train in
+        row "tree" (Kml.Decision_tree.predict tree) (Kml.Model_cost.of_tree tree)
+          "kernel (integer)");
+      (fun () ->
+        let mlp = Kml.Mlp.train ~params:mlp_params ~rng:(Kml.Rng.split rng 1) train in
+        let qmlp = Kml.Quantize.Qmlp.of_mlp mlp in
+        row "qmlp" (Kml.Quantize.Qmlp.predict qmlp) (Kml.Model_cost.of_qmlp qmlp)
+          "userspace (float)");
+      (fun () ->
+        let svm = Kml.Linear.Svm.train ~rng:(Kml.Rng.split rng 2) train in
+        row "int-svm" (Kml.Linear.Svm.predict svm) (Kml.Model_cost.of_svm svm)
+          "userspace (float)");
+      (fun () ->
+        let perceptron =
+          Kml.Linear.Perceptron.train ~epochs:20 ~rng:(Kml.Rng.split rng 3) train
+        in
+        (* The perceptron's cost is that of a linear scorer over 15 features. *)
+        let perceptron_cost =
+          { Kml.Model_cost.macs = 2 * 16; comparisons = 2; memory_words = 4 * 16 }
+        in
+        row "perceptron" (Kml.Linear.Perceptron.predict perceptron) perceptron_cost
+          "kernel (integer)") ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablation H — cost-bounded NAS                                        *)
@@ -484,24 +529,31 @@ type granularity_row = {
 }
 
 let ablation_granularity ?(seed = 42) () =
-  let per_inode = Ksim.Workload_mem.file_streams ~rng:(Kml.Rng.create seed) () in
-  let per_process = Ksim.Workload_mem.retag per_inode ~pid:1 in
-  let systems () =
-    [ ("linux", Ksim.Readahead.create ());
-      ("leap", Ksim.Leap.create ());
-      ("rmt-ml", Prefetch_rmt.prefetcher (Prefetch_rmt.create ~seed ())) ]
+  let combos =
+    List.concat_map
+      (fun granularity ->
+        List.map (fun g_system -> (granularity, g_system)) [ "linux"; "leap"; "rmt-ml" ])
+      [ "per-inode"; "per-process" ]
   in
-  List.concat_map
-    (fun (granularity, trace) ->
-      List.map
-        (fun (g_system, prefetcher) ->
-          let r = Ksim.Mem_sim.run ~config:mem_config ~prefetcher trace in
-          { g_system;
-            granularity;
-            g_accuracy_pct = 100.0 *. r.Ksim.Mem_sim.accuracy;
-            g_coverage_pct = 100.0 *. r.Ksim.Mem_sim.coverage })
-        (systems ()))
-    [ ("per-inode", per_inode); ("per-process", per_process) ]
+  pmap
+    (fun (granularity, g_system) ->
+      let per_inode = Ksim.Workload_mem.file_streams ~rng:(Kml.Rng.create seed) () in
+      let trace =
+        if granularity = "per-inode" then per_inode
+        else Ksim.Workload_mem.retag per_inode ~pid:1
+      in
+      let prefetcher =
+        match g_system with
+        | "linux" -> Ksim.Readahead.create ()
+        | "leap" -> Ksim.Leap.create ()
+        | _ -> Prefetch_rmt.prefetcher (Prefetch_rmt.create ~seed ())
+      in
+      let r = Ksim.Mem_sim.run ~config:mem_config ~prefetcher trace in
+      { g_system;
+        granularity;
+        g_accuracy_pct = 100.0 *. r.Ksim.Mem_sim.accuracy;
+        g_coverage_pct = 100.0 *. r.Ksim.Mem_sim.coverage })
+    combos
 
 (* ------------------------------------------------------------------ *)
 (* Ablation J — cross-application producer/consumer coupling            *)
@@ -515,21 +567,26 @@ type cross_row = {
 }
 
 let ablation_cross_app ?(seed = 42) () =
-  let trace =
-    Ksim.Workload_mem.producer_consumer ~rng:(Kml.Rng.create seed) ~producer:1 ~consumer:2 ()
-  in
   let config = { mem_config with Ksim.Mem_sim.cache_pages = 512 } in
-  List.map
-    (fun (x_system, prefetcher) ->
+  pmap
+    (fun x_system ->
+      let trace =
+        Ksim.Workload_mem.producer_consumer ~rng:(Kml.Rng.create seed) ~producer:1
+          ~consumer:2 ()
+      in
+      let prefetcher =
+        match x_system with
+        | "linux" -> Ksim.Readahead.create ()
+        | "leap" -> Ksim.Leap.create ()
+        | "rmt-ml" -> Prefetch_rmt.prefetcher (Prefetch_rmt.create ~seed ())
+        | _ -> Cross_app.prefetcher (Cross_app.create ())
+      in
       let r = Ksim.Mem_sim.run ~config ~prefetcher trace in
       { x_system;
         x_accuracy_pct = 100.0 *. r.Ksim.Mem_sim.accuracy;
         x_coverage_pct = 100.0 *. r.Ksim.Mem_sim.coverage;
         x_completion_s = float_of_int r.Ksim.Mem_sim.completion_ns /. 1e9 })
-    [ ("linux", Ksim.Readahead.create ());
-      ("leap", Ksim.Leap.create ());
-      ("rmt-ml", Prefetch_rmt.prefetcher (Prefetch_rmt.create ~seed ()));
-      ("cross-app", Cross_app.prefetcher (Cross_app.create ())) ]
+    [ "linux"; "leap"; "rmt-ml"; "cross-app" ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablation K — real-time userspace training with periodic model pushes *)

@@ -2,7 +2,13 @@
     evaluation (§4) plus the ablations listed in DESIGN.md.
 
     All experiments are deterministic given the seed.  See
-    EXPERIMENTS.md for measured-vs-paper numbers. *)
+    EXPERIMENTS.md for measured-vs-paper numbers.
+
+    Every fan-out (tables, ablation sweeps) runs on the shared domain
+    pool ([Par.global]; width from [RKD_DOMAINS] or the core count).
+    Each task derives its state from the seed and its task identity
+    ([Kml.Rng.split]), so results are bit-identical at every pool width —
+    DESIGN.md §9 states the contract, [test/test_par.ml] enforces it. *)
 
 (** {2 Table 1 — page prefetching} *)
 
@@ -29,6 +35,10 @@ type table2_row = {
   accuracy_pct : float;     (** mimic accuracy on held-out decisions; 100 for linux *)
   jct_s : float;
 }
+
+val table2_benchmark : seed:int -> string -> table2_row list
+(** One workload's three rows (mlp-full / mlp-lean / linux).  [table2]
+    fans these out on the domain pool, one task per workload. *)
 
 val table2 : ?seed:int -> unit -> table2_row list
 

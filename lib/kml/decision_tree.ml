@@ -2,7 +2,42 @@ type node =
   | Leaf of { label : int; counts : int array }
   | Split of { feature : int; threshold : int; left : int; right : int }
 
-type t = { n_features : int; n_classes : int; nodes : node array }
+(* The [nodes] variant array is the training/introspection layout; the
+   [s_*] structure-of-arrays mirror is what [predict] walks: a leaf at
+   slot [i] has [s_feature.(i) = -1] and its label in [s_label.(i)], so
+   inference is a tight integer loop with no constructor matching and no
+   allocation.  Both layouts are built once, at [train]/[of_nodes] exit. *)
+type t = {
+  n_features : int;
+  n_classes : int;
+  nodes : node array;
+  s_feature : int array;
+  s_threshold : int array;
+  s_left : int array;
+  s_right : int array;
+  s_label : int array;
+}
+
+let flatten ~n_features ~n_classes nodes =
+  let n = Array.length nodes in
+  let s_feature = Array.make n (-1) in
+  let s_threshold = Array.make n 0 in
+  let s_left = Array.make n 0 in
+  let s_right = Array.make n 0 in
+  let s_label = Array.make n 0 in
+  Array.iteri
+    (fun i node ->
+      match node with
+      | Leaf { label; _ } ->
+        s_feature.(i) <- -1;
+        s_label.(i) <- label
+      | Split { feature; threshold; left; right } ->
+        s_feature.(i) <- feature;
+        s_threshold.(i) <- threshold;
+        s_left.(i) <- left;
+        s_right.(i) <- right)
+    nodes;
+  { n_features; n_classes; nodes; s_feature; s_threshold; s_left; s_right; s_label }
 
 type params = { max_depth : int; min_samples_split : int; min_gain : int }
 
@@ -77,12 +112,40 @@ let node_counts samples indices n_classes =
     indices;
   counts
 
+(* Below this node size the per-feature searches are too cheap to farm
+   out; above it each feature's sort dominates and the features are
+   embarrassingly parallel. *)
+let par_min_samples = 512
+
+(* One candidate per feature, evaluated in parallel for large nodes, then
+   reduced sequentially in feature order so the winning (gain, feature)
+   pair — including the earlier-feature-wins tie-break — is bit-identical
+   to the sequential search. *)
+let best_feature_split samples indices n_features n_classes parent_cost =
+  let search f = best_split_on_feature samples indices f n_classes parent_cost in
+  let candidates =
+    if Array.length indices >= par_min_samples && n_features > 1 then
+      Par.parallel_map_array (Par.global ()) search (Array.init n_features Fun.id)
+    else Array.init n_features search
+  in
+  let best = ref None in
+  Array.iteri
+    (fun f candidate ->
+      match candidate with
+      | Some (gain, threshold) ->
+        (match !best with
+         | Some (g, _, _) when g >= gain -> ()
+         | Some _ | None -> best := Some (gain, f, threshold))
+      | None -> ())
+    candidates;
+  !best
+
 let train ?(params = default_params) ds =
   let n_features = Dataset.n_features ds and n_classes = Dataset.n_classes ds in
   if params.max_depth < 1 then invalid_arg "Decision_tree.train: max_depth must be >= 1";
   let samples = Dataset.to_array ds in
   if Array.length samples = 0 then
-    { n_features; n_classes; nodes = [| Leaf { label = 0; counts = Array.make n_classes 0 } |] }
+    flatten ~n_features ~n_classes [| Leaf { label = 0; counts = Array.make n_classes 0 } |]
   else begin
     let nodes = ref [] and n_nodes = ref 0 in
     let alloc () =
@@ -100,16 +163,7 @@ let train ?(params = default_params) ds =
       if depth >= params.max_depth || n < params.min_samples_split || parent_cost = 0 then
         make_leaf ()
       else begin
-        let best = ref None in
-        for f = 0 to n_features - 1 do
-          match best_split_on_feature samples indices f n_classes parent_cost with
-          | Some (gain, threshold) ->
-            (match !best with
-             | Some (g, _, _) when g >= gain -> ()
-             | Some _ | None -> best := Some (gain, f, threshold))
-          | None -> ()
-        done;
-        match !best with
+        match best_feature_split samples indices n_features n_classes parent_cost with
         | Some (gain, feature, threshold) when gain >= params.min_gain ->
           let left_idx =
             Array.of_list
@@ -137,28 +191,34 @@ let train ?(params = default_params) ds =
     assert (root = 0);
     nodes := [];
     let arr = Array.init !n_nodes (fun i -> Hashtbl.find assigned i) in
-    { n_features; n_classes; nodes = arr }
+    flatten ~n_features ~n_classes arr
   end
 
 let check_arity t features =
   if Array.length features <> t.n_features then
     invalid_arg "Decision_tree.predict: feature arity mismatch"
 
-let rec walk t features i =
-  match t.nodes.(i) with
-  | Leaf _ as leaf -> leaf
-  | Split { feature; threshold; left; right } ->
-    if features.(feature) <= threshold then walk t features left else walk t features right
+(* Allocation-free inference over the structure-of-arrays layout. *)
+let[@inline] walk_flat t features =
+  let feat = t.s_feature
+  and thr = t.s_threshold
+  and left = t.s_left
+  and right = t.s_right in
+  let i = ref 0 in
+  let f = ref feat.(0) in
+  while !f >= 0 do
+    i := (if features.(!f) <= thr.(!i) then left.(!i) else right.(!i));
+    f := feat.(!i)
+  done;
+  !i
 
 let predict t features =
   check_arity t features;
-  match walk t features 0 with
-  | Leaf { label; _ } -> label
-  | Split _ -> assert false
+  t.s_label.(walk_flat t features)
 
 let predict_dist t features =
   check_arity t features;
-  match walk t features 0 with
+  match t.nodes.(walk_flat t features) with
   | Leaf { counts; _ } -> Array.copy counts
   | Split _ -> assert false
 
@@ -193,7 +253,7 @@ let of_nodes ~n_features ~n_classes arr =
         if left <= i || left >= Array.length arr || right <= i || right >= Array.length arr then
           invalid_arg "Decision_tree.of_nodes: child index must be a later node")
     arr;
-  { n_features; n_classes; nodes = Array.copy arr }
+  flatten ~n_features ~n_classes (Array.copy arr)
 
 let feature_importance t =
   let importance = Array.make t.n_features 0.0 in

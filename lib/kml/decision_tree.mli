@@ -22,7 +22,11 @@ val train : ?params:params -> Dataset.t -> t
     predicts class 0. *)
 
 val predict : t -> int array -> int
-(** Raises [Invalid_argument] on feature-arity mismatch. *)
+(** Allocation-free inference: walks a structure-of-arrays mirror of the
+    tree (int arrays for feature/threshold/children, built once at
+    [train]/[of_nodes] exit), so the hot loop does no constructor
+    matching and no allocation.  Raises [Invalid_argument] on
+    feature-arity mismatch. *)
 
 val predict_dist : t -> int array -> int array
 (** Training-set class counts at the reached leaf. *)

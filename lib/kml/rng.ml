@@ -59,4 +59,13 @@ let shuffle t arr =
     arr.(j) <- tmp
   done
 
-let split t = { state = mix (next64 t) }
+(* Index-keyed substream derivation.  The child state is the parent state
+   advanced by (i + 1) golden-ratio steps, pushed through the SplitMix64
+   finalizer twice with an odd xor constant in between, so children of
+   nearby indices land in unrelated regions of the state space.  Pure:
+   the parent is not advanced, making the derivation independent of the
+   order (or domain) in which tasks run. *)
+let split t i =
+  if i < 0 then invalid_arg "Rng.split: index must be non-negative";
+  let z = Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1))) in
+  { state = mix (Int64.logxor (mix z) 0xD1342543DE82EF95L) }

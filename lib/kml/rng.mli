@@ -32,5 +32,12 @@ val geometric : t -> p:float -> int
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 
-val split : t -> t
-(** Fork an independent stream (advances the parent). *)
+val split : t -> int -> t
+(** [split t i] derives the [i]-th substream of [t]'s current state: a
+    statistically independent generator keyed by the index.  Pure — the
+    parent is not advanced, and equal (state, index) pairs yield equal
+    substreams.  This is the primitive behind the parallel experiment
+    engine's determinism contract: task [i] draws from [split t i]
+    regardless of which domain runs it, so parallel results are
+    bit-identical to sequential ones.  Raises [Invalid_argument] on a
+    negative index. *)

@@ -1,0 +1,306 @@
+(* Fixed domain pool with chunked, deque-based work distribution.
+
+   A batch over indices [0, n) is cut into chunks; chunks are dealt
+   round-robin onto one deque per participant.  Participants pop from the
+   back of their own deque (most recently dealt, cache-warm) and steal
+   from the front of a victim's (oldest remaining) when theirs is empty.
+   Deques only shrink after distribution, so a per-deque mutex is
+   uncontended in the common case and trivially correct when stealing. *)
+
+(* ---------------- chunk deques ---------------- *)
+
+module Deque = struct
+  type t = {
+    items : (int * int) array; (* [lo, hi) index ranges *)
+    mutable head : int;        (* first live slot *)
+    mutable tail : int;        (* one past the last live slot *)
+    lock : Mutex.t;
+  }
+
+  let of_list chunks =
+    let items = Array.of_list chunks in
+    { items; head = 0; tail = Array.length items; lock = Mutex.create () }
+
+  let pop_back d =
+    Mutex.lock d.lock;
+    let r =
+      if d.tail > d.head then begin
+        d.tail <- d.tail - 1;
+        Some d.items.(d.tail)
+      end
+      else None
+    in
+    Mutex.unlock d.lock;
+    r
+
+  let pop_front d =
+    Mutex.lock d.lock;
+    let r =
+      if d.tail > d.head then begin
+        let c = d.items.(d.head) in
+        d.head <- d.head + 1;
+        Some c
+      end
+      else None
+    in
+    Mutex.unlock d.lock;
+    r
+end
+
+(* ---------------- pool ---------------- *)
+
+type job = {
+  run : int -> unit;
+  deques : Deque.t array; (* one per participant; index 0 = submitter *)
+  remaining : int Atomic.t;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  failure_lock : Mutex.t;
+}
+
+type pool = {
+  mutable workers : unit Domain.t array;
+  width : int; (* participants, including the submitter *)
+  m : Mutex.t; (* guards current / gen / stop *)
+  work_cv : Condition.t;
+  done_cv : Condition.t;
+  submit_lock : Mutex.t; (* one batch in flight at a time *)
+  mutable current : job option;
+  mutable gen : int;
+  mutable stop : bool;
+  mutable joined : bool;
+}
+
+(* A task running on any participant sets this flag so nested batches run
+   inline instead of re-entering the pool (which would deadlock on
+   [submit_lock]) or oversubscribing the machine. *)
+let inside_pool : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let clamp_domains n = if n < 1 then 1 else if n > 64 then 64 else n
+
+let default_domains () =
+  let from_env =
+    match Sys.getenv_opt "RKD_DOMAINS" with
+    | Some s ->
+      (match int_of_string_opt (String.trim s) with
+       | Some n when n > 0 -> Some n
+       | Some _ | None -> None)
+    | None -> None
+  in
+  clamp_domains
+    (match from_env with Some n -> n | None -> Domain.recommended_domain_count ())
+
+let record_failure job exn bt =
+  Mutex.lock job.failure_lock;
+  if job.failure = None then job.failure <- Some (exn, bt);
+  Mutex.unlock job.failure_lock
+
+(* Pop local chunks, then sweep the other deques. *)
+let next_chunk job idx =
+  match Deque.pop_back job.deques.(idx) with
+  | Some _ as c -> c
+  | None ->
+    let p = Array.length job.deques in
+    let rec steal k =
+      if k >= p then None
+      else
+        match Deque.pop_front job.deques.((idx + k) mod p) with
+        | Some _ as c -> c
+        | None -> steal (k + 1)
+    in
+    steal 1
+
+let participate pool job idx =
+  let flag = Domain.DLS.get inside_pool in
+  let saved = !flag in
+  flag := true;
+  let rec loop () =
+    match next_chunk job idx with
+    | None -> ()
+    | Some (lo, hi) ->
+      for i = lo to hi - 1 do
+        try job.run i
+        with exn -> record_failure job exn (Printexc.get_raw_backtrace ())
+      done;
+      (* [fetch_and_add] returns the pre-decrement value. *)
+      if Atomic.fetch_and_add job.remaining (lo - hi) = hi - lo then begin
+        Mutex.lock pool.m;
+        Condition.broadcast pool.done_cv;
+        Mutex.unlock pool.m
+      end;
+      loop ()
+  in
+  loop ();
+  flag := saved
+
+let worker_main pool idx =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.m;
+    while (not pool.stop) && pool.gen = !seen do
+      Condition.wait pool.work_cv pool.m
+    done;
+    if pool.stop then Mutex.unlock pool.m
+    else begin
+      seen := pool.gen;
+      let job = pool.current in
+      Mutex.unlock pool.m;
+      (match job with Some j -> participate pool j idx | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains () =
+  let width = clamp_domains (match domains with Some n -> n | None -> default_domains ()) in
+  let pool =
+    { workers = [||];
+      width;
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      submit_lock = Mutex.create ();
+      current = None;
+      gen = 0;
+      stop = false;
+      joined = false }
+  in
+  if width > 1 then
+    pool.workers <-
+      Array.init (width - 1) (fun i -> Domain.spawn (fun () -> worker_main pool (i + 1)));
+  pool
+
+let domains pool = pool.width
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.stop <- true;
+  Condition.broadcast pool.work_cv;
+  Mutex.unlock pool.m;
+  if not pool.joined then begin
+    pool.joined <- true;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+(* ---------------- batch submission ---------------- *)
+
+let run_seq ~n ~run =
+  for i = 0 to n - 1 do
+    run i
+  done
+
+let make_chunks ~n ~size =
+  let rec go lo acc =
+    if lo >= n then List.rev acc else go (lo + size) ((lo, min n (lo + size)) :: acc)
+  in
+  go 0 []
+
+let run_batch ?chunk pool ~n ~run =
+  if n <= 0 then ()
+  else if pool.width <= 1 || pool.stop || !(Domain.DLS.get inside_pool) || n = 1 then
+    run_seq ~n ~run
+  else begin
+    Mutex.lock pool.submit_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock pool.submit_lock)
+      (fun () ->
+        let size =
+          match chunk with
+          | Some c when c > 0 -> c
+          | Some _ | None -> max 1 ((n + (4 * pool.width) - 1) / (4 * pool.width))
+        in
+        let chunks = make_chunks ~n ~size in
+        let dealt = Array.make pool.width [] in
+        List.iteri (fun i c -> dealt.(i mod pool.width) <- c :: dealt.(i mod pool.width)) chunks;
+        let job =
+          { run;
+            deques = Array.map (fun l -> Deque.of_list (List.rev l)) dealt;
+            remaining = Atomic.make n;
+            failure = None;
+            failure_lock = Mutex.create () }
+        in
+        Mutex.lock pool.m;
+        pool.current <- Some job;
+        pool.gen <- pool.gen + 1;
+        Condition.broadcast pool.work_cv;
+        Mutex.unlock pool.m;
+        participate pool job 0;
+        Mutex.lock pool.m;
+        while Atomic.get job.remaining > 0 do
+          Condition.wait pool.done_cv pool.m
+        done;
+        pool.current <- None;
+        Mutex.unlock pool.m;
+        match job.failure with
+        | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+        | None -> ())
+  end
+
+let parallel_map_array ?chunk pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run_batch ?chunk pool ~n ~run:(fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let parallel_map pool f l =
+  Array.to_list (parallel_map_array ~chunk:1 pool f (Array.of_list l))
+
+let run_tasks pool thunks = parallel_map pool (fun f -> f ()) thunks
+
+(* ---------------- global pool ---------------- *)
+
+let global_lock = Mutex.create ()
+let global_pool = ref (None : pool option)
+let exit_hooked = ref false
+
+(* Must be called with [global_lock] held. *)
+let register_exit_hook () =
+  if not !exit_hooked then begin
+    exit_hooked := true;
+    at_exit (fun () ->
+        Mutex.lock global_lock;
+        let p = !global_pool in
+        global_pool := None;
+        Mutex.unlock global_lock;
+        Option.iter shutdown p)
+  end
+
+let global () =
+  Mutex.lock global_lock;
+  let p =
+    match !global_pool with
+    | Some p -> p
+    | None ->
+      let p = create () in
+      global_pool := Some p;
+      register_exit_hook ();
+      p
+  in
+  Mutex.unlock global_lock;
+  p
+
+let global_domains () =
+  Mutex.lock global_lock;
+  let n = match !global_pool with Some p -> p.width | None -> default_domains () in
+  Mutex.unlock global_lock;
+  n
+
+let set_global_domains n =
+  let n = clamp_domains n in
+  Mutex.lock global_lock;
+  let old = !global_pool in
+  let unchanged = match old with Some p -> p.width = n | None -> false in
+  if unchanged then Mutex.unlock global_lock
+  else begin
+    global_pool := None;
+    Mutex.unlock global_lock;
+    Option.iter shutdown old;
+    let p = create ~domains:n () in
+    Mutex.lock global_lock;
+    global_pool := Some p;
+    register_exit_hook ();
+    Mutex.unlock global_lock
+  end

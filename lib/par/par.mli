@@ -1,0 +1,69 @@
+(** Dependency-free OCaml 5 domain pool for the experiment layer.
+
+    A [pool] owns a fixed set of worker domains.  Work arrives as an
+    indexed batch; the index space is cut into chunks which are dealt
+    round-robin onto per-participant deques.  Each participant (the
+    submitting domain plus every worker) pops chunks from the back of its
+    own deque and steals from the front of a victim's deque when its own
+    runs dry, so large early chunks migrate to idle domains.
+
+    Design rules:
+    - The submitting domain participates, so a pool of [n] domains gives
+      [n]-way parallelism with [n - 1] spawned workers.
+    - A pool of 1 domain spawns nothing and runs every batch inline — the
+      sequential fallback used when [RKD_DOMAINS=1].
+    - Calls from inside a pool task run inline on the calling domain
+      (nested batches do not deadlock and do not oversubscribe).
+    - The first exception raised by a task is re-raised, with its
+      backtrace, on the submitting domain after the batch drains.
+    - Scheduling never influences results: combinators preserve input
+      order, so output is identical for every pool size.  Determinism of
+      the *values* is the caller's contract — each task must derive its
+      randomness from its task index (see [Kml.Rng.split]). *)
+
+type pool
+
+val default_domains : unit -> int
+(** Pool width used by [global]: the [RKD_DOMAINS] environment variable
+    when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()].  Clamped to \[1, 64\]. *)
+
+val create : ?domains:int -> unit -> pool
+(** [create ~domains ()] spawns [domains - 1] worker domains
+    (default: [default_domains ()]).  [domains] is clamped to \[1, 64\]. *)
+
+val domains : pool -> int
+(** Parallelism width, including the submitting domain. *)
+
+val shutdown : pool -> unit
+(** Stops and joins the workers.  Idempotent.  Submitting to a shut-down
+    pool runs the batch sequentially. *)
+
+val parallel_map_array : ?chunk:int -> pool -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map.  [chunk] overrides the chunk size
+    (default: splits the index space into about 4 chunks per domain). *)
+
+val parallel_map : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map over a list (chunk size 1: experiment
+    tasks are few and heavy). *)
+
+val run_tasks : pool -> (unit -> 'a) list -> 'a list
+(** Runs independent thunks in parallel; results in input order. *)
+
+(** {2 Global pool}
+
+    The experiment layer shares one process-wide pool so that nested
+    fan-outs (an ablation family calling [Decision_tree.train]) compose
+    without oversubscription.  The pool is created lazily and joined via
+    [at_exit]. *)
+
+val global : unit -> pool
+(** The shared pool, created on first use with [default_domains ()]. *)
+
+val global_domains : unit -> int
+(** Width the global pool has (or would be created with). *)
+
+val set_global_domains : int -> unit
+(** Resizes the global pool (shutting down the old one).  No-op when the
+    width is unchanged.  Used by [rkdctl --domains] and the macro
+    benchmark harness. *)

@@ -10,6 +10,7 @@ type t = {
   default_engine : Vm.engine;
   limits : Verifier.limits;
   rng : Kml.Rng.t;
+  mutable installs : int; (* indexes per-install Rng substreams *)
 }
 
 let create ?(engine = Vm.Jit_compiled) ?(limits = Verifier.default_limits) ?(seed = 0x5eed) () =
@@ -23,7 +24,8 @@ let create ?(engine = Vm.Jit_compiled) ?(limits = Verifier.default_limits) ?(see
     table_order = [];
     default_engine = engine;
     limits;
-    rng = Kml.Rng.create seed }
+    rng = Kml.Rng.create seed;
+    installs = 0 }
 
 let helpers t = t.helpers
 let models t = t.store
@@ -75,9 +77,10 @@ let install t ?engine ?(budget = Kml.Model_cost.default_budget) ?(model_names = 
                   (Verifier.violation_to_string v))
        | Ok _report ->
          let maps = Array.map Map_store.create prog.map_specs in
+         let rng = Kml.Rng.split t.rng t.installs in
+         t.installs <- t.installs + 1;
          (match
-            Loaded.link ~rng:(Kml.Rng.split t.rng) ~store:t.store ~helpers:t.helpers ~maps
-              ~models:handles prog
+            Loaded.link ~rng ~store:t.store ~helpers:t.helpers ~maps ~models:handles prog
           with
           | loaded ->
             let vm = Vm.create ~engine loaded in

@@ -13,4 +13,5 @@ let () =
          Test_misc.suite;
          Test_encoding.suite;
          Test_extensions.suite;
-         Test_more.suite ])
+         Test_more.suite;
+         Test_par.suite ])

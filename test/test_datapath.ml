@@ -358,6 +358,32 @@ let test_table_lookup_zero_alloc () =
   if delta > 256.0 then
     Alcotest.failf "table lookup allocated %.0f minor words over 10k runs" delta
 
+(* Decision-tree inference walks a structure-of-arrays mirror of the tree
+   (lib/kml/decision_tree.ml), so steady-state predict must not allocate
+   either — it sits on the same hot path as the JIT datapath above. *)
+let test_tree_predict_zero_alloc () =
+  let rng = Kml.Rng.create 7 in
+  let samples =
+    List.init 400 (fun _ ->
+        let a = Kml.Rng.int rng 100 and b = Kml.Rng.int rng 100 and c = Kml.Rng.int rng 100 in
+        let label = if a + b > 100 then 1 else if c > 60 then 2 else 0 in
+        { Kml.Dataset.features = [| a; b; c |]; label })
+  in
+  let ds = Kml.Dataset.of_samples ~n_features:3 ~n_classes:3 samples in
+  let tree = Kml.Decision_tree.train ds in
+  if Kml.Decision_tree.depth tree < 2 then Alcotest.fail "expected a non-trivial tree";
+  let features = [| 55; 60; 30 |] in
+  for _ = 1 to 100 do
+    ignore (Kml.Decision_tree.predict tree features)
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Kml.Decision_tree.predict tree features)
+  done;
+  let delta = Gc.minor_words () -. before in
+  if delta > 256.0 then
+    Alcotest.failf "tree predict allocated %.0f minor words over 10k runs" delta
+
 (* ---------------- JIT unit cache identity ---------------- *)
 
 (* Reinstalling a program under the same name must not let the JIT serve
@@ -396,4 +422,6 @@ let suite =
           test_invoke_result_zero_alloc;
         Alcotest.test_case "table lookup is allocation-free" `Quick
           test_table_lookup_zero_alloc;
+        Alcotest.test_case "tree predict is allocation-free" `Quick
+          test_tree_predict_zero_alloc;
         Alcotest.test_case "jit unit cache keyed by uid" `Quick test_jit_unit_cache_by_uid ] ) ]

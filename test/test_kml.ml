@@ -59,10 +59,52 @@ let test_rng_shuffle_permutation () =
 
 let test_rng_split_independent () =
   let parent = Rng.create 5 in
-  let child = Rng.split parent in
-  let a = Array.init 20 (fun _ -> Rng.next parent) in
-  let b = Array.init 20 (fun _ -> Rng.next child) in
-  Alcotest.(check bool) "streams differ" true (a <> b)
+  let c0 = Rng.split parent 0 and c1 = Rng.split parent 1 in
+  (* pure: deriving the same index twice yields the same stream, and the
+     parent state is untouched by the derivations *)
+  let c0' = Rng.split parent 0 in
+  let a = Array.init 20 (fun _ -> Rng.next c0) in
+  let a' = Array.init 20 (fun _ -> Rng.next c0') in
+  let b = Array.init 20 (fun _ -> Rng.next c1) in
+  let p = Array.init 20 (fun _ -> Rng.next parent) in
+  Alcotest.(check (array int)) "same index, same stream" a a';
+  Alcotest.(check bool) "sibling streams differ" true (a <> b);
+  Alcotest.(check bool) "child differs from parent" true (a <> p && b <> p);
+  Alcotest.check_raises "negative index" (Invalid_argument "Rng.split: index must be non-negative")
+    (fun () -> ignore (Rng.split parent (-1)))
+
+(* The determinism contract of the parallel experiment engine rests on
+   [split]: distinct task indices must give non-colliding, uncorrelated
+   substreams.  Check that (a) the first draws of 512 sibling substreams
+   are pairwise distinct and differ from the parent's own next draws, and
+   (b) consecutive siblings' first draws look avalanche-mixed (mean
+   Hamming distance of the 62 usable bits near 31). *)
+let prop_split_substreams_independent =
+  QCheck2.Test.make ~name:"split: sibling substreams non-colliding and mixed" ~count:100
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let parent = Rng.create seed in
+      let n = 512 in
+      let firsts = Array.init n (fun i -> Rng.next (Rng.split parent i)) in
+      let seen = Hashtbl.create (2 * n) in
+      Array.iter (fun v -> Hashtbl.replace seen v ()) firsts;
+      let pc = Rng.copy parent in
+      let parent_draws = Array.init n (fun _ -> Rng.next pc) in
+      let collides = Array.exists (fun v -> Hashtbl.mem seen v) parent_draws in
+      let popcount x =
+        let c = ref 0 and v = ref x in
+        while !v <> 0 do
+          c := !c + (!v land 1);
+          v := !v lsr 1
+        done;
+        !c
+      in
+      let dist = ref 0 in
+      for i = 0 to n - 2 do
+        dist := !dist + popcount (firsts.(i) lxor firsts.(i + 1))
+      done;
+      let mean = float_of_int !dist /. float_of_int (n - 1) in
+      Hashtbl.length seen = n && (not collides) && mean > 24.0 && mean < 38.0)
 
 (* ---------------- Tensor ---------------- *)
 
@@ -238,7 +280,8 @@ let suite =
         Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
         Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
         Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
-        Alcotest.test_case "split independent" `Quick test_rng_split_independent ] );
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        QCheck_alcotest.to_alcotest prop_split_substreams_independent ] );
     ( "tensor",
       [ Alcotest.test_case "vec dot" `Quick test_vec_dot;
         Alcotest.test_case "vec axpy" `Quick test_vec_axpy;
