@@ -1,5 +1,5 @@
 .PHONY: all build test bench table1 table2 ablations micro bench-json perf-check \
-        bench-macro perf-check-macro check examples clean
+        bench-macro perf-check-macro check lint examples clean
 
 all: build
 
@@ -40,10 +40,17 @@ bench-macro:
 perf-check-macro:
 	dune exec bench/main.exe perf-check-macro
 
-# The umbrella CI gate: warning-clean build, full test suite, micro
-# perf regression check.
+# Fast static-analysis smoke (~2s): a short differential-fuzz run of the
+# abstract interpreter — proof-eliding engines vs an always-guarded
+# reference.  The full 5000-program run lives in the test suite.
+lint:
+	dune exec bin/rkdctl.exe -- absint-fuzz --trials 1500
+
+# The umbrella CI gate: warning-clean build, absint fuzz smoke, full test
+# suite, micro perf regression check.
 check:
 	dune build @all
+	$(MAKE) lint
 	dune runtest --force --no-buffer
 	$(MAKE) perf-check
 

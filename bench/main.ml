@@ -72,10 +72,43 @@ let sched_fixture () =
   let sched = Rkd.Sched_rmt.create ~model:(Rmt.Model_store.Qmlp q) () in
   (Rkd.Sched_rmt.decider sched, q, mlp)
 
+(* A context-streaming loop whose keys are all provably dense: the same
+   program JIT-compiled with the verifier's proof array (guards elided)
+   and without it (all runtime guards kept).  The absint/* rows quantify
+   what the static proofs buy on the datapath. *)
+let absint_fixture () =
+  let open Rmt.Insn in
+  let prog =
+    Rmt.Program.make ~name:"ctxt_stream"
+      [ Ld_imm (0, 0); Ld_imm (1, 0); Ld_imm (2, 0);
+        Rep (64, 5);
+        Alu_imm (And, 1, 63); Ld_ctxt (2, 1); Alu (Add, 0, 2); St_ctxt_r (1, 2);
+        Alu_imm (Add, 1, 1);
+        Exit ]
+  in
+  let helpers = Rmt.Helper.with_defaults () in
+  let report =
+    match Rmt.Verifier.check ~helpers ~model_costs:[||] prog with
+    | Ok r -> r
+    | Error v -> failwith (Rmt.Verifier.violation_to_string v)
+  in
+  let store = Rmt.Model_store.create () in
+  let link ?proofs () =
+    Rmt.Loaded.link ?proofs ~store ~helpers ~maps:[||] ~models:[||] prog
+  in
+  let elided = Rmt.Jit.compile (link ~proofs:report.Rmt.Verifier.proof ()) in
+  let guarded = Rmt.Jit.compile (link ()) in
+  let ctxt = Rmt.Ctxt.create () in
+  for k = 0 to 63 do
+    Rmt.Ctxt.set ctxt k (k * 3)
+  done;
+  (elided, guarded, ctxt, prog, helpers)
+
 let micro_tests () =
   let collect_i, predict_i, ctxt_i, _ = prefetch_fixture Rmt.Vm.Interpreted in
   let collect_j, predict_j, ctxt_j, tree = prefetch_fixture Rmt.Vm.Jit_compiled in
   let decider, qmlp, mlp = sched_fixture () in
+  let ai_elided, ai_guarded, ai_ctxt, ai_prog, ai_helpers = absint_fixture () in
   let now () = 0 in
   let features15 = Array.init 15 (fun i -> i * 17) in
   let tree_features =
@@ -110,7 +143,15 @@ let micro_tests () =
     Test.make ~name:"table2/float-mlp-predict"
       (Staged.stage (fun () -> Kml.Mlp.predict mlp features15));
     Test.make ~name:"table2/migration-decision"
-      (Staged.stage (fun () -> decider ~features:features15 ~heuristic:false)) ]
+      (Staged.stage (fun () -> decider ~features:features15 ~heuristic:false));
+    (* Abstract-interpretation rows: proof-elided vs fully guarded context
+       streaming, and the cost of the analysis itself at load time. *)
+    Test.make ~name:"absint/ctxt-stream/elided"
+      (Staged.stage (fun () -> Rmt.Jit.run ai_elided ~ctxt:ai_ctxt ~now));
+    Test.make ~name:"absint/ctxt-stream/guarded"
+      (Staged.stage (fun () -> Rmt.Jit.run ai_guarded ~ctxt:ai_ctxt ~now));
+    Test.make ~name:"absint/analyze"
+      (Staged.stage (fun () -> Rmt.Absint.analyze ~helpers:ai_helpers ai_prog)) ]
 
 (* Run the Bechamel suite and return [(name, ns_per_run)] in suite order. *)
 let measure_micro () =

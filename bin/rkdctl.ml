@@ -45,15 +45,22 @@ let parse_program path =
     | Error e -> Error (Format.asprintf "%s: %a" path Rmt.Asm.pp_error e)
   end
 
+let strict_arg =
+  let doc =
+    "Strict mode: also reject dynamic context keys and vector map windows the abstract \
+     interpreter cannot prove in bounds (privacy-flow violations are enforced either way)."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
 let verify_cmd =
-  let run path =
+  let run path strict =
     match parse_program path with
     | Error e ->
       prerr_endline e;
       1
     | Ok program ->
       let helpers = Rmt.Helper.with_defaults () in
-      (match Rmt.Verifier.check_structure_only ~helpers program with
+      (match Rmt.Verifier.check_structure_only ~strict ~helpers program with
        | Ok report ->
          Format.printf "%s: OK@." program.Rmt.Program.name;
          Format.printf "  worst-case dynamic instructions: %d@."
@@ -61,14 +68,39 @@ let verify_cmd =
          Format.printf "  uses privacy-charged helpers: %b@." report.Rmt.Verifier.uses_privacy;
          Format.printf "  helpers used: [%s]@."
            (String.concat "; " (List.map string_of_int report.Rmt.Verifier.helper_ids_used));
+         let ai = Rmt.Absint.analyze ~helpers program in
+         Format.printf "  abstract interpretation:@.";
+         Rmt.Absint.pp Format.std_formatter ai program;
          0
        | Error v ->
          Format.printf "%s: REJECTED: %a@." program.Rmt.Program.name Rmt.Verifier.pp_violation
            v;
          1)
   in
-  let doc = "verify an RMT assembly program" in
-  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ program_arg)
+  let doc = "verify an RMT assembly program and print the abstract-interpretation report" in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ program_arg $ strict_arg)
+
+let absint_fuzz_cmd =
+  let run trials seed =
+    match Rmt.Fuzz.run ~seed ~trials () with
+    | stats ->
+      Format.printf "absint-fuzz: %a@." Rmt.Fuzz.pp_stats stats;
+      0
+    | exception Rmt.Fuzz.Unsound msg ->
+      Format.printf "absint-fuzz: SOUNDNESS VIOLATION@.%s@." msg;
+      1
+  in
+  let trials_arg =
+    Arg.(value & opt int 300 & info [ "t"; "trials" ] ~docv:"N" ~doc:"Random programs to try.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0x50FA & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+  in
+  let doc =
+    "differentially fuzz the abstract interpreter (proof-eliding engines vs an \
+     always-guarded reference)"
+  in
+  Cmd.v (Cmd.info "absint-fuzz" ~doc) Term.(const run $ trials_arg $ seed_arg)
 
 let disasm_cmd =
   let run path =
@@ -196,7 +228,7 @@ let main =
   in
   Cmd.group
     (Cmd.info "rkdctl" ~version:"1.0.0" ~doc)
-    [ verify_cmd; disasm_cmd; run_cmd; assemble_cmd; table1_cmd; table2_cmd; ablations_cmd;
-      overhead_cmd; shapes_cmd ]
+    [ verify_cmd; disasm_cmd; run_cmd; assemble_cmd; absint_fuzz_cmd; table1_cmd; table2_cmd;
+      ablations_cmd; overhead_cmd; shapes_cmd ]
 
 let () = exit (Cmd.eval' main)

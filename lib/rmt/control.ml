@@ -75,12 +75,13 @@ let install t ?engine ?(budget = Kml.Model_cost.default_budget) ?(model_names = 
        | Error v ->
          Error (Printf.sprintf "verifier rejected %s: %s" prog.name
                   (Verifier.violation_to_string v))
-       | Ok _report ->
+       | Ok report ->
          let maps = Array.map Map_store.create prog.map_specs in
          let rng = Kml.Rng.split t.rng t.installs in
          t.installs <- t.installs + 1;
          (match
-            Loaded.link ~rng ~store:t.store ~helpers:t.helpers ~maps ~models:handles prog
+            Loaded.link ~rng ~proofs:report.Verifier.proof ~store:t.store ~helpers:t.helpers
+              ~maps ~models:handles prog
           with
           | loaded ->
             let vm = Vm.create ~engine loaded in

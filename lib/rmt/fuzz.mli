@@ -1,0 +1,38 @@
+(** Soundness fuzzer for {!Absint} and the proof-eliding engines.
+
+    Generates random (mostly verifier-acceptable) programs and, for each
+    accepted one, runs three executions on identical inputs:
+
+    + {!Interp} on a {!Loaded} instance carrying the verifier's proof
+      array (guards elided where proven);
+    + {!Jit} on another proof-carrying instance;
+    + an independent reference interpreter defined here, with every
+      runtime guard forced on, which additionally asserts at each
+      executed instruction that (a) {!Absint} claimed the pc reachable
+      and (b) every concrete register value lies in its claimed
+      interval.
+
+    All three must agree on result, step count, privacy denials, final
+    context contents and final map contents, and the concrete step count
+    must stay within the report's [worst_case_steps].  Any discrepancy
+    raises {!Unsound} with the offending program disassembled into the
+    message.
+
+    Driven by [test/test_absint.ml] (5000 programs) and the [make lint]
+    smoke via [rkdctl absint-fuzz]. *)
+
+type stats = {
+  trials : int;
+  accepted : int;   (** programs that passed {!Verifier.check} and were executed *)
+  rejected : int;   (** programs the verifier rejected (skipped, also fine) *)
+  claims_checked : int;  (** per-step interval memberships asserted *)
+}
+
+exception Unsound of string
+(** A soundness violation, with the offending program disassembled into
+    the message. *)
+
+val run : ?seed:int -> trials:int -> unit -> stats
+(** Raises {!Unsound} on the first soundness violation. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -139,30 +139,63 @@ let compile_unit (loaded : Loaded.t) : unit_code =
               next st
           end
         | I.Ld_ctxt (rd, rk) ->
+          (* Proof-specialized at compile time: a proven-dense key costs no
+             range dispatch at runtime — the elided check is free, not just
+             predictable. *)
           let next = cont_at (pc + 1) in
-          fun st ->
-            st.regs.(rd) <- Ctxt.get st.ctxt st.regs.(rk);
-            st.steps <- st.steps + 1;
-            next st
+          if Absint.Proof.key_dense loaded.proofs.(pc) then
+            fun st ->
+              st.regs.(rd) <- Ctxt.unsafe_get_dense st.ctxt st.regs.(rk);
+              st.steps <- st.steps + 1;
+              next st
+          else
+            fun st ->
+              st.regs.(rd) <- Ctxt.get st.ctxt st.regs.(rk);
+              st.steps <- st.steps + 1;
+              next st
         | I.Ld_ctxt_k (rd, key) ->
           let next = cont_at (pc + 1) in
-          fun st ->
-            st.regs.(rd) <- Ctxt.get st.ctxt key;
-            st.steps <- st.steps + 1;
-            next st
+          if Absint.Proof.key_dense loaded.proofs.(pc) then
+            fun st ->
+              st.regs.(rd) <- Ctxt.unsafe_get_dense st.ctxt key;
+              st.steps <- st.steps + 1;
+              next st
+          else
+            fun st ->
+              st.regs.(rd) <- Ctxt.get st.ctxt key;
+              st.steps <- st.steps + 1;
+              next st
         | I.St_ctxt (key, rs) ->
           let next = cont_at (pc + 1) in
-          fun st ->
-            Ctxt.set st.ctxt key st.regs.(rs);
-            st.steps <- st.steps + 1;
-            next st
+          if Absint.Proof.key_dense loaded.proofs.(pc) then
+            fun st ->
+              Ctxt.unsafe_set_dense st.ctxt key st.regs.(rs);
+              st.steps <- st.steps + 1;
+              next st
+          else
+            fun st ->
+              Ctxt.set st.ctxt key st.regs.(rs);
+              st.steps <- st.steps + 1;
+              next st
         | I.St_ctxt_r (rk, rs) ->
           let next = cont_at (pc + 1) in
-          fun st ->
-            let key = st.regs.(rk) in
-            if key >= 0 then Ctxt.set st.ctxt key st.regs.(rs);
-            st.steps <- st.steps + 1;
-            next st
+          let p = loaded.proofs.(pc) in
+          if Absint.Proof.key_dense p then
+            fun st ->
+              Ctxt.unsafe_set_dense st.ctxt st.regs.(rk) st.regs.(rs);
+              st.steps <- st.steps + 1;
+              next st
+          else if Absint.Proof.key_nonneg p then
+            fun st ->
+              Ctxt.set st.ctxt st.regs.(rk) st.regs.(rs);
+              st.steps <- st.steps + 1;
+              next st
+          else
+            fun st ->
+              let key = st.regs.(rk) in
+              if key >= 0 then Ctxt.set st.ctxt key st.regs.(rs);
+              st.steps <- st.steps + 1;
+              next st
         | I.Map_lookup (rd, slot, rk) ->
           let map = loaded.maps.(slot) in
           let next = cont_at (pc + 1) in
@@ -227,35 +260,56 @@ let compile_unit (loaded : Loaded.t) : unit_code =
           let args = loaded.call_args.(arity) in
           let env = loaded.env in
           let next = cont_at (pc + 1) in
-          fun st ->
-            for i = 0 to arity - 1 do
-              args.(i) <- st.regs.(i + 1)
-            done;
-            let raw = Helper.invoke loaded.helpers id env args in
-            let result =
-              if cost = 0 then raw
-              else begin
-                match loaded.privacy with
-                | None ->
-                  st.denied <- st.denied + 1;
-                  0
-                | Some acct ->
-                  (match
-                     Privacy.noisy_result acct ~rng:loaded.rng ~cost_milli:cost ~sensitivity:1
-                       raw
-                   with
-                   | Some noisy -> noisy
-                   | None ->
-                     st.denied <- st.denied + 1;
-                     0)
-              end
-            in
-            st.regs.(0) <- result;
-            for r = 1 to 5 do
-              st.regs.(r) <- 0
-            done;
-            st.steps <- st.steps + 1;
-            next st
+          (* Specialized on the (static) privacy configuration: the common
+             free-helper case carries no cost test and no account match at
+             runtime. *)
+          (match cost, loaded.privacy with
+           | 0, _ ->
+             fun st ->
+               for i = 0 to arity - 1 do
+                 args.(i) <- st.regs.(i + 1)
+               done;
+               st.regs.(0) <- Helper.invoke loaded.helpers id env args;
+               for r = 1 to 5 do
+                 st.regs.(r) <- 0
+               done;
+               st.steps <- st.steps + 1;
+               next st
+           | _, None ->
+             (* unreachable for verified programs; fail closed *)
+             fun st ->
+               for i = 0 to arity - 1 do
+                 args.(i) <- st.regs.(i + 1)
+               done;
+               ignore (Helper.invoke loaded.helpers id env args);
+               st.denied <- st.denied + 1;
+               st.regs.(0) <- 0;
+               for r = 1 to 5 do
+                 st.regs.(r) <- 0
+               done;
+               st.steps <- st.steps + 1;
+               next st
+           | _, Some acct ->
+             fun st ->
+               for i = 0 to arity - 1 do
+                 args.(i) <- st.regs.(i + 1)
+               done;
+               let raw = Helper.invoke loaded.helpers id env args in
+               let result =
+                 match
+                   Privacy.noisy_result acct ~rng:loaded.rng ~cost_milli:cost ~sensitivity:1 raw
+                 with
+                 | Some noisy -> noisy
+                 | None ->
+                   st.denied <- st.denied + 1;
+                   0
+               in
+               st.regs.(0) <- result;
+               for r = 1 to 5 do
+                 st.regs.(r) <- 0
+               done;
+               st.steps <- st.steps + 1;
+               next st)
         | I.Call_ml (slot, off, len) ->
           let handle = loaded.models.(slot) in
           let features = loaded.ml_args.(slot) in
@@ -270,22 +324,36 @@ let compile_unit (loaded : Loaded.t) : unit_code =
             next st
         | I.Vec_ld_ctxt (dst, key, len) ->
           let next = cont_at (pc + 1) in
-          fun st ->
-            for i = 0 to len - 1 do
-              vmem.(dst + i) <- Ctxt.get st.ctxt (key + i)
-            done;
-            st.steps <- st.steps + 1;
-            next st
+          if Absint.Proof.key_dense loaded.proofs.(pc) then
+            fun st ->
+              for i = 0 to len - 1 do
+                vmem.(dst + i) <- Ctxt.unsafe_get_dense st.ctxt (key + i)
+              done;
+              st.steps <- st.steps + 1;
+              next st
+          else
+            fun st ->
+              for i = 0 to len - 1 do
+                vmem.(dst + i) <- Ctxt.get st.ctxt (key + i)
+              done;
+              st.steps <- st.steps + 1;
+              next st
         | I.Vec_ld_map (dst, slot, rk, len) ->
           let map = loaded.maps.(slot) in
           let next = cont_at (pc + 1) in
-          fun st ->
-            let base = st.regs.(rk) in
-            for i = 0 to len - 1 do
-              vmem.(dst + i) <- Map_store.lookup map (base + i)
-            done;
-            st.steps <- st.steps + 1;
-            next st
+          if Absint.Proof.window_in_bounds loaded.proofs.(pc) then
+            fun st ->
+              Map_store.unsafe_read_window map ~base:st.regs.(rk) ~dst:vmem ~dst_off:dst ~len;
+              st.steps <- st.steps + 1;
+              next st
+          else
+            fun st ->
+              let base = st.regs.(rk) in
+              for i = 0 to len - 1 do
+                vmem.(dst + i) <- Map_store.lookup map (base + i)
+              done;
+              st.steps <- st.steps + 1;
+              next st
         | I.Vec_st_reg (off, rs) ->
           let next = cont_at (pc + 1) in
           fun st ->

@@ -21,6 +21,7 @@ type report = {
   uses_privacy : bool;
   model_slots_used : int list;
   helper_ids_used : int list;
+  proof : Absint.Proof.t array;
 }
 
 type violation =
@@ -46,6 +47,9 @@ type violation =
   | Missing_privacy_budget of { pc : int; helper : int }
   | Model_arity_mismatch of { pc : int; slot : int; expected : int; got : int }
   | Ml_cost_exceeded of { cost : Kml.Model_cost.t }
+  | Ctxt_key_unproven of { pc : int; reg : int }
+  | Vmem_index_unproven of { pc : int }
+  | Privacy_flow of { pc : int; reg : int }
 
 let pp_violation fmt = function
   | Empty_program -> Format.fprintf fmt "empty program"
@@ -77,6 +81,13 @@ let pp_violation fmt = function
     Format.fprintf fmt "pc %d: model slot %d expects %d features, given %d" pc slot expected got
   | Ml_cost_exceeded { cost } ->
     Format.fprintf fmt "total model cost exceeds hook budget (%a)" Kml.Model_cost.pp cost
+  | Ctxt_key_unproven { pc; reg } ->
+    Format.fprintf fmt "pc %d: context key in r%d not proven non-negative" pc reg
+  | Vmem_index_unproven { pc } ->
+    Format.fprintf fmt "pc %d: vector map window not proven in bounds" pc
+  | Privacy_flow { pc; reg } ->
+    Format.fprintf fmt
+      "pc %d: r%d may carry context-derived data into a map without a privacy budget" pc reg
 
 let violation_to_string v = Format.asprintf "%a" pp_violation v
 
@@ -294,7 +305,7 @@ let sum_saturating a b =
 (* Main entry points.                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let run_checks ~limits ~budget ~helpers ~model_costs (prog : Program.t) =
+let run_checks ~limits ~budget ~strict ~helpers ~model_costs (prog : Program.t) =
   let n = Array.length prog.code in
   if n = 0 then reject Empty_program;
   if n > limits.max_code_len then reject (Code_too_long n);
@@ -315,9 +326,33 @@ let run_checks ~limits ~budget ~helpers ~model_costs (prog : Program.t) =
      jumps on unreachable code, which we reject as malformed). *)
   Array.iteri (fun pc _ -> ignore (successors prog.code body_end pc)) prog.code;
   dataflow helpers prog.code body_end;
+  (* Abstract interpretation: register intervals + taint.  Runs after the
+     structural passes (it assumes well-formed control flow).  The taint
+     violation is always enforced — it is an information-flow property the
+     per-call-site privacy check cannot see; the bounds violations only
+     reject under [strict] since unproven accesses still have total runtime
+     semantics (they just keep their guards). *)
+  let ai = Absint.analyze ~helpers prog in
+  List.iter
+    (fun issue ->
+      match issue with
+      | Absint.Tainted_sink { pc; reg } -> reject (Privacy_flow { pc; reg })
+      | Absint.Unproven_ctxt_key { pc; reg } ->
+        if strict then reject (Ctxt_key_unproven { pc; reg })
+      | Absint.Unproven_map_window { pc } ->
+        if strict then reject (Vmem_index_unproven { pc }))
+    ai.Absint.issues;
   (* Worst-case dynamic steps: every instruction weighted by its loop
-     multiplicity. *)
-  let worst_case_steps = Array.fold_left sum_saturating 0 weight in
+     multiplicity — restricted to instructions the abstract interpreter
+     found reachable (infeasible branches make whole regions dead, so this
+     is tighter than the purely structural sum and still an upper bound). *)
+  let worst_case_steps = ref 0 in
+  Array.iteri
+    (fun pc w ->
+      if Absint.Proof.reachable ai.Absint.proofs.(pc) then
+        worst_case_steps := sum_saturating !worst_case_steps w)
+    weight;
+  let worst_case_steps = !worst_case_steps in
   if worst_case_steps > limits.max_steps then
     reject (Steps_exceeded { worst_case = worst_case_steps; allowed = limits.max_steps });
   (* Capability + ML admission. *)
@@ -353,14 +388,15 @@ let run_checks ~limits ~budget ~helpers ~model_costs (prog : Program.t) =
     ml_cost = !ml_cost;
     uses_privacy = !uses_privacy;
     model_slots_used = List.sort compare !model_slots;
-    helper_ids_used = List.sort compare !helper_ids }
+    helper_ids_used = List.sort compare !helper_ids;
+    proof = ai.Absint.proofs }
 
-let check ?(limits = default_limits) ?(budget = Kml.Model_cost.default_budget) ~helpers
-    ~model_costs prog =
-  match run_checks ~limits ~budget ~helpers ~model_costs prog with
+let check ?(limits = default_limits) ?(budget = Kml.Model_cost.default_budget)
+    ?(strict = false) ~helpers ~model_costs prog =
+  match run_checks ~limits ~budget ~strict ~helpers ~model_costs prog with
   | report -> Ok report
   | exception Reject v -> Error v
 
-let check_structure_only ?(limits = default_limits) ~helpers prog =
+let check_structure_only ?(limits = default_limits) ?strict ~helpers prog =
   let model_costs = Array.map (fun _ -> Kml.Model_cost.zero) prog.Program.model_arity in
-  check ~limits ~budget:Kml.Model_cost.default_budget ~helpers ~model_costs prog
+  check ~limits ~budget:Kml.Model_cost.default_budget ?strict ~helpers ~model_costs prog

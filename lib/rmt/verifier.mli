@@ -43,6 +43,10 @@ type report = {
   uses_privacy : bool;
   model_slots_used : int list;
   helper_ids_used : int list;
+  proof : Absint.Proof.t array;
+      (** per-pc facts from {!Absint.analyze} — {!Interp} and {!Jit}
+          consult these to elide runtime bounds/taint guards on proven
+          instructions (see {!Loaded.link}) *)
 }
 
 type violation =
@@ -68,6 +72,13 @@ type violation =
   | Missing_privacy_budget of { pc : int; helper : int }
   | Model_arity_mismatch of { pc : int; slot : int; expected : int; got : int }
   | Ml_cost_exceeded of { cost : Kml.Model_cost.t }
+  | Ctxt_key_unproven of { pc : int; reg : int }
+      (** strict mode: dynamic context key not proven non-negative *)
+  | Vmem_index_unproven of { pc : int }
+      (** strict mode: [Vec_ld_map] window not proven within the map *)
+  | Privacy_flow of { pc : int; reg : int }
+      (** context-derived (tainted) data reaches a map/ring sink in a
+          program with no [Privacy_budget] — always enforced *)
 
 val pp_violation : Format.formatter -> violation -> unit
 val violation_to_string : violation -> string
@@ -75,15 +86,22 @@ val violation_to_string : violation -> string
 val check :
   ?limits:limits ->
   ?budget:Kml.Model_cost.budget ->
+  ?strict:bool ->
   helpers:Helper.t ->
   model_costs:Kml.Model_cost.t array ->
   Program.t ->
   (report, violation) result
 (** [model_costs] gives the cost of the model bound to each model slot
     (same order as [Program.model_arity]); pass measured costs from
-    {!Model_store} at load time. *)
+    {!Model_store} at load time.
+
+    [strict] (default [false]) additionally requires every dynamic
+    context key and vector map window to be statically proven in bounds
+    ([Ctxt_key_unproven] / [Vmem_index_unproven]); the default keeps
+    those accesses admissible under their (total) runtime guards.
+    [Privacy_flow] is enforced regardless of [strict]. *)
 
 val check_structure_only :
-  ?limits:limits -> helpers:Helper.t -> Program.t -> (report, violation) result
+  ?limits:limits -> ?strict:bool -> helpers:Helper.t -> Program.t -> (report, violation) result
 (** Structure, control-flow and dataflow checks with model slots assumed
     zero-cost — usable before models are bound. *)

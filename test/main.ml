@@ -6,6 +6,7 @@ let () =
          Test_models.suite;
          Test_rmt_vm.suite;
          Test_datapath.suite;
+         Test_absint.suite;
          Test_rmt_infra.suite;
          Test_ksim.suite;
          Test_sched.suite;

@@ -175,6 +175,20 @@ let gen_program rng =
       let rk = dreg () in
       [ Alu_imm (And, rk, 15); Map_update (1, rk, sreg ()) ]
   in
+  (* Guard-path probes: unmasked dynamic ctxt keys (exercises the negative-
+     key guard) and Vec_ld_map windows both unproven (short reads past the
+     array end read 0) and masked-in-bounds (the verifier proves the window
+     and both engines take the elided blit path). *)
+  let guard_block () =
+    if not with_maps then [ St_ctxt_r (sreg (), sreg ()) ]
+    else
+      match ri 3 with
+      | 0 -> [ St_ctxt_r (sreg (), sreg ()) ]
+      | 1 -> [ Vec_ld_map (0, 1, sreg (), 4) ]
+      | _ ->
+        let rk = dreg () in
+        [ Alu_imm (And, rk, 7); Vec_ld_map (0, 1, rk, 4) ]
+  in
   let call_block () =
     match ri (if with_privacy then 5 else 4) with
     | 0 -> Call Rmt.Helper.abs_val :: reinit ()
@@ -217,11 +231,12 @@ let gen_program rng =
     Jcond_imm (conds.(ri 6), sreg (), ri 20 - 10, List.length body) :: body
   in
   let top_block () =
-    match ri 10 with
+    match ri 11 with
     | 0 | 1 | 2 | 3 -> simple_block ()
     | 4 | 5 -> branch_block ()
     | 6 | 7 -> rep_block 1
     | 8 -> call_block ()
+    | 9 -> guard_block ()
     | _ -> if with_ml then ml_block () else simple_block ()
   in
   let blocks = List.concat (List.init (3 + ri 6) (fun _ -> top_block ())) in
@@ -243,7 +258,11 @@ let gen_program rng =
          else [])
       ~model_arity:(if with_ml then [ 3 ] else [])
       ~capabilities:
-        (if with_privacy then [ Rmt.Program.Privacy_budget { epsilon_milli = 150 + ri 200 } ]
+        (* The verifier's information-flow check requires a budget whenever
+           context-derived values can reach a map/ring sink, which the
+           simple_block map cases freely do. *)
+        (if with_privacy || with_maps then
+           [ Rmt.Program.Privacy_budget { epsilon_milli = 150 + ri 200 } ]
          else [])
       code
   in
