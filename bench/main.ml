@@ -122,6 +122,8 @@ let micro_tests () =
     t
   in
   let table_ctxt = Rmt.Ctxt.of_list [ (0, 40) ] in
+  let obs_counter = Obs.Counter.make "bench.obs.counter" in
+  let obs_histo = Obs.Histo.make "bench.obs.histo" in
   [ (* Figure 1 family: the VM itself, interpreted vs JIT. *)
     Test.make ~name:"fig1/collect/interp"
       (Staged.stage (fun () -> Rmt.Vm.invoke collect_i ~ctxt:ctxt_i ~now));
@@ -151,7 +153,27 @@ let micro_tests () =
     Test.make ~name:"absint/ctxt-stream/guarded"
       (Staged.stage (fun () -> Rmt.Jit.run ai_guarded ~ctxt:ai_ctxt ~now));
     Test.make ~name:"absint/analyze"
-      (Staged.stage (fun () -> Rmt.Absint.analyze ~helpers:ai_helpers ai_prog)) ]
+      (Staged.stage (fun () -> Rmt.Absint.analyze ~helpers:ai_helpers ai_prog));
+    (* Observability rows (DESIGN.md section 11): the telemetry primitives
+       themselves, and the instrumented JIT fast path with telemetry
+       disabled — quantifying the "reduces to a flag load" claim.  The
+       disabled rows bracket the flag with allocate/free so every other
+       row still measures with telemetry on (the shipping default). *)
+    Test.make ~name:"obs/counter-incr"
+      (Staged.stage (fun () -> Obs.Counter.incr obs_counter));
+    Test.make ~name:"obs/histo-observe"
+      (Staged.stage (fun () -> Obs.Histo.observe obs_histo 777));
+    Test.make ~name:"obs/trace-emit"
+      (Staged.stage (fun () ->
+           Obs.Trace.emit ~hook:0 ~uid:1 ~engine:1 ~steps:12 ~elided:3 ~result:1 ~flags:0));
+    Test.make_with_resource ~name:"obs/counter-incr-off" Test.uniq
+      ~allocate:(fun () -> Obs.set_enabled false)
+      ~free:(fun () -> Obs.set_enabled true)
+      (Staged.stage (fun () -> Obs.Counter.incr obs_counter));
+    Test.make_with_resource ~name:"obs/invoke-jit-off" Test.uniq
+      ~allocate:(fun () -> Obs.set_enabled false)
+      ~free:(fun () -> Obs.set_enabled true)
+      (Staged.stage (fun () -> Rmt.Vm.invoke predict_j ~ctxt:ctxt_j ~now)) ]
 
 (* Run the Bechamel suite and return [(name, ns_per_run)] in suite order. *)
 let measure_micro () =

@@ -5,6 +5,8 @@
      verify <file.rmt>    verify an RMT assembly program and print the report
      disasm <file.rmt>    parse and pretty-print (round-trip) a program
      run <file.rmt>       verify, install and run a program once
+     stats [file.rmt]     telemetry snapshot (optionally after N runs)
+     trace <file.rmt>     run a program and dump the flight recorder
      table1 | table2      regenerate the paper's tables
      ablations            run the ablation suite
      overhead             Figure 1 family: interpreter vs JIT cost
@@ -161,6 +163,120 @@ let assemble_cmd =
   let doc = "assemble a program into the machine-independent RMTB wire format" in
   Cmd.v (Cmd.info "assemble" ~doc) Term.(const run $ program_arg $ out_arg)
 
+(* --------------------------------------------------------------------- *)
+(* Telemetry subcommands (lib/obs, DESIGN.md section 11)                  *)
+(* --------------------------------------------------------------------- *)
+
+let iters_arg =
+  let doc = "Invocations of the program before reading the telemetry." in
+  Arg.(value & opt int 1000 & info [ "n"; "iters" ] ~docv:"N" ~doc)
+
+let install_and_run path bindings engine iters ~hook =
+  match parse_program path with
+  | Error e ->
+    prerr_endline e;
+    None
+  | Ok program ->
+    let control = Rmt.Control.create ~engine () in
+    (match Rmt.Control.install control program with
+     | Error e ->
+       prerr_endline e;
+       None
+     | Ok vm ->
+       let ctxt = Rmt.Ctxt.of_list bindings in
+       Rmt.Ctxt.watch ~name:"rkdctl" ctxt;
+       Obs.Trace.set_current_hook (Obs.intern hook);
+       let now () = 0 in
+       for _ = 1 to iters do
+         ignore (Rmt.Vm.invoke_result vm ~ctxt ~now)
+       done;
+       Obs.Trace.set_current_hook (-1);
+       Some vm)
+
+let stats_cmd =
+  let format_conv = Arg.enum [ ("text", `Text); ("prom", `Prom); ("json", `Json) ] in
+  let format_arg =
+    let doc = "Output format: 'text', 'prom' (Prometheus exposition) or 'json'." in
+    Arg.(value & opt format_conv `Text & info [ "f"; "format" ] ~docv:"FMT" ~doc)
+  in
+  let diff_arg =
+    let doc =
+      "Print only the interval delta attributable to this invocation's runs (snapshot \
+       after minus snapshot before)."
+    in
+    Arg.(value & flag & info [ "diff" ] ~doc)
+  in
+  let file_arg =
+    let doc = "RMT program to install and run before the snapshot (optional)." in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file bindings engine iters fmt diff =
+    let before = Obs.Registry.snapshot () in
+    let ok =
+      match file with
+      | None -> true
+      | Some path -> install_and_run path bindings engine iters ~hook:"rkdctl/stats" <> None
+    in
+    if not ok then 1
+    else begin
+      let after = Obs.Registry.snapshot () in
+      let snap = if diff then Obs.Snapshot.diff ~before ~after else after in
+      print_string
+        (match fmt with
+         | `Text -> Obs.Snapshot.to_text snap
+         | `Prom -> Obs.Snapshot.to_prometheus snap
+         | `Json -> Obs.Snapshot.to_json snap);
+      0
+    end
+  in
+  let doc = "print a telemetry snapshot, optionally after installing and running a program" in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ file_arg $ ctxt_arg $ engine_arg $ iters_arg $ format_arg $ diff_arg)
+
+let trace_cmd =
+  let last_arg =
+    let doc = "How many of the most recent flight-recorder events to print." in
+    Arg.(value & opt int 16 & info [ "l"; "last" ] ~docv:"N" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Reconfigure the ring to at least this many slots before running." in
+    Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"SLOTS" ~doc)
+  in
+  let run file bindings engine iters lastn capacity =
+    (match capacity with Some c -> Obs.Trace.configure ~capacity:c | None -> ());
+    match install_and_run file bindings engine iters ~hook:"rkdctl/trace" with
+    | None -> 1
+    | Some _vm ->
+      Obs.Trace.freeze ();
+      let events = Obs.Trace.last lastn in
+      Obs.Trace.unfreeze ();
+      Format.printf "flight recorder: capacity=%d emitted=%d dropped=%d@."
+        (Obs.Trace.capacity ()) (Obs.Trace.emitted ()) (Obs.Trace.dropped ());
+      Format.printf "  %6s %-14s %5s %-7s %6s %6s %10s %s@." "seq" "hook" "uid" "engine"
+        "steps" "elided" "result" "flags";
+      List.iter
+        (fun (e : Obs.Trace.event) ->
+          let flags =
+            String.concat ","
+              (List.filter_map
+                 (fun (bit, n) -> if e.Obs.Trace.flags land bit <> 0 then Some n else None)
+                 [ (Obs.Trace.flag_throttled, "throttled");
+                   (Obs.Trace.flag_guardrail, "guardrail");
+                   (Obs.Trace.flag_privacy_denied, "privacy-denied") ])
+          in
+          Format.printf "  %6d %-14s %5d %-7s %6d %6d %10d %s@." e.Obs.Trace.seq
+            (if e.Obs.Trace.hook < 0 then "-" else Obs.intern_name e.Obs.Trace.hook)
+            e.Obs.Trace.uid
+            (if e.Obs.Trace.engine = 1 then "jit" else "interp")
+            e.Obs.Trace.steps e.Obs.Trace.elided e.Obs.Trace.result
+            (if flags = "" then "-" else flags))
+        events;
+      0
+  in
+  let doc = "run a program and dump the most recent flight-recorder events" in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ program_arg $ ctxt_arg $ engine_arg $ iters_arg $ last_arg $ capacity_arg)
+
 let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> f (); 0) $ const ())
 
 let domains_arg =
@@ -228,7 +344,7 @@ let main =
   in
   Cmd.group
     (Cmd.info "rkdctl" ~version:"1.0.0" ~doc)
-    [ verify_cmd; disasm_cmd; run_cmd; assemble_cmd; absint_fuzz_cmd; table1_cmd; table2_cmd;
-      ablations_cmd; overhead_cmd; shapes_cmd ]
+    [ verify_cmd; disasm_cmd; run_cmd; assemble_cmd; absint_fuzz_cmd; stats_cmd; trace_cmd;
+      table1_cmd; table2_cmd; ablations_cmd; overhead_cmd; shapes_cmd ]
 
 let () = exit (Cmd.eval' main)

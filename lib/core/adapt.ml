@@ -1,5 +1,11 @@
 type mode = Normal | Conservative
 
+(* Global across adapters: the control plane cares how often ANY model
+   crosses its hysteresis bands, not which instance did. *)
+let c_transitions = Obs.Counter.make "rkd.adapt.transitions"
+let c_degrades = Obs.Counter.make "rkd.adapt.degrades"
+let c_recoveries = Obs.Counter.make "rkd.adapt.recoveries"
+
 type t = {
   low : float;
   high : float;
@@ -44,10 +50,14 @@ let observe t ~correct =
     | Normal when rate < t.low ->
       t.mode <- Conservative;
       t.transitions <- t.transitions + 1;
+      Obs.Counter.incr c_transitions;
+      Obs.Counter.incr c_degrades;
       t.on_degrade ()
     | Conservative when rate > t.high ->
       t.mode <- Normal;
       t.transitions <- t.transitions + 1;
+      Obs.Counter.incr c_transitions;
+      Obs.Counter.incr c_recoveries;
       t.on_recover ()
     | Normal | Conservative -> ()
   end

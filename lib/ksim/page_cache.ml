@@ -21,6 +21,13 @@ type t = {
   mutable evicted_unused : int;
 }
 
+(* Process-wide simulation telemetry: the page-cache loop is the inner
+   loop of every mem_sim experiment, so these are plain striped counters
+   (no per-instance storage to keep [lookup] allocation-free). *)
+let c_hits = Obs.Counter.make "ksim.page_cache.hits"
+let c_misses = Obs.Counter.make "ksim.page_cache.misses"
+let c_evictions = Obs.Counter.make "ksim.page_cache.evictions"
+
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Page_cache.create: capacity must be positive";
   { capacity; nodes = Hashtbl.create 1024; head = None; tail = None; evicted_unused = 0 }
@@ -46,8 +53,11 @@ let touch t node =
 
 let lookup t ~page =
   match Hashtbl.find_opt t.nodes page with
-  | None -> Miss
+  | None ->
+    Obs.Counter.incr c_misses;
+    Miss
   | Some node ->
+    Obs.Counter.incr c_hits;
     touch t node;
     let first_use_of_prefetch = node.unused_prefetch in
     node.unused_prefetch <- false;
@@ -57,6 +67,7 @@ let evict_one t =
   match t.tail with
   | None -> ()
   | Some victim ->
+    Obs.Counter.incr c_evictions;
     if victim.unused_prefetch then t.evicted_unused <- t.evicted_unused + 1;
     unlink t victim;
     Hashtbl.remove t.nodes victim.page

@@ -8,6 +8,11 @@ type result = {
   mean_task_ns : float;
 }
 
+(* Bulk-added once per simulated run, never inside the scheduler loop. *)
+let c_runs = Obs.Counter.make "ksim.sched.runs"
+let c_decisions = Obs.Counter.make "ksim.sched.decisions"
+let c_migrations = Obs.Counter.make "ksim.sched.migrations"
+
 let tasks_of workload =
   match Workload_cpu.by_name workload with
   | Some make -> make ()
@@ -32,6 +37,9 @@ let run ?params ~workload ~decider_name decider =
       (fun acc (t : Task.t) -> acc +. float_of_int (t.Task.finish_ns - t.Task.arrival_ns))
       0.0 (Cfs.tasks sched)
   in
+  Obs.Counter.incr c_runs;
+  Obs.Counter.add c_decisions decisions;
+  Obs.Counter.add c_migrations (Cfs.migrations sched);
   { workload;
     decider = decider_name;
     jct_ns;

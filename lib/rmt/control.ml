@@ -13,6 +13,25 @@ type t = {
   mutable installs : int; (* indexes per-install Rng substreams *)
 }
 
+(* Control-plane activity totals (DESIGN.md section 11). *)
+let c_installs = Obs.Counter.make "rmt.control.installs"
+let c_install_rejected = Obs.Counter.make "rmt.control.install_rejected"
+let c_model_updates = Obs.Counter.make "rmt.control.model_updates"
+let c_fires = Obs.Counter.make "rmt.control.fires"
+
+(* Folds a program's pre-existing per-VM counters (invocations, steps,
+   throttled units, guardrail violations) into registry views through the
+   unchanged Vm accessors, so `rkdctl stats` reports them uniformly next
+   to the striped counters.  Reinstalling a name rebinds its views. *)
+let register_program_views name vm =
+  let view suffix f =
+    Obs.Registry.register_view ("rmt.program." ^ name ^ "." ^ suffix) (fun () -> f vm)
+  in
+  view "invocations" Vm.invocations;
+  view "steps" Vm.total_steps;
+  view "throttled_units" Vm.throttled_units;
+  view "guardrail_violations" Vm.guardrail_violations
+
 let create ?(engine = Vm.Jit_compiled) ?(limits = Verifier.default_limits) ?(seed = 0x5eed) () =
   { helpers = Helper.with_defaults ();
     store = Model_store.create ();
@@ -39,7 +58,9 @@ let update_model t ~name model =
   | None -> Error (Printf.sprintf "update_model: no model named %s" name)
   | Some handle ->
     (match Model_store.replace t.store handle model with
-     | () -> Ok ()
+     | () ->
+       Obs.Counter.incr c_model_updates;
+       Ok ()
      | exception Invalid_argument msg -> Error msg)
 
 let install t ?engine ?(budget = Kml.Model_cost.default_budget) ?(model_names = [])
@@ -73,6 +94,7 @@ let install t ?engine ?(budget = Kml.Model_cost.default_budget) ?(model_names = 
       in
       (match Verifier.check ~limits:t.limits ~budget ~helpers:t.helpers ~model_costs prog with
        | Error v ->
+         Obs.Counter.incr c_install_rejected;
          Error (Printf.sprintf "verifier rejected %s: %s" prog.name
                   (Verifier.violation_to_string v))
        | Ok report ->
@@ -88,6 +110,8 @@ let install t ?engine ?(budget = Kml.Model_cost.default_budget) ?(model_names = 
             if not (Hashtbl.mem t.programs prog.name) then
               t.program_order <- t.program_order @ [ prog.name ];
             Hashtbl.replace t.programs prog.name vm;
+            Obs.Counter.incr c_installs;
+            register_program_views prog.name vm;
             Ok vm
           | exception Invalid_argument msg -> Error msg))
   end
@@ -108,6 +132,9 @@ let remove_program t name =
   if Hashtbl.mem t.programs name then begin
     Hashtbl.remove t.programs name;
     t.program_order <- List.filter (fun n -> n <> name) t.program_order;
+    List.iter
+      (fun suffix -> Obs.Registry.unregister_view ("rmt.program." ^ name ^ "." ^ suffix))
+      [ "invocations"; "steps"; "throttled_units"; "guardrail_violations" ];
     true
   end
   else false
@@ -129,7 +156,10 @@ let create_table t ~name ~match_keys ~default =
 
 let find_table t name = Hashtbl.find_opt t.tables name
 let attach t ~hook table = Pipeline.attach t.pipeline ~hook table
-let fire t ~hook ~ctxt = Pipeline.fire t.pipeline ~hook ~ctxt ~now:t.clock
+
+let fire t ~hook ~ctxt =
+  Obs.Counter.incr c_fires;
+  Pipeline.fire t.pipeline ~hook ~ctxt ~now:t.clock
 let program_names t = t.program_order
 let table_names t = t.table_order
 

@@ -152,6 +152,12 @@ let get_range t ~base ~len = Array.init len (fun i -> get t (base + i))
 let reads t = t.reads
 let reset_reads t = t.reads <- 0
 
+(* Folds this context's read counter into registry snapshots (DESIGN.md
+   section 11) through the public accessor — the hot [get] path is left
+   untouched.  Re-watching a name rebinds the view to the new context. *)
+let watch ~name t =
+  Obs.Registry.register_view ("rmt.ctxt." ^ name ^ ".reads") (fun () -> reads t)
+
 let of_list bindings =
   let t = create () in
   List.iter (fun (k, v) -> set t k v) bindings;

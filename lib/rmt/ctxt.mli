@@ -48,6 +48,13 @@ val reads : t -> int
 (** Number of [get]/[get_range] key reads since [reset_reads]. *)
 
 val reset_reads : t -> unit
+
+val watch : name:string -> t -> unit
+(** Registers a registry view [rmt.ctxt.<name>.reads] over this
+    context's read counter (via {!reads} — the counter itself does not
+    move), so [rkdctl stats] reports it next to the striped counters.
+    Re-watching a name rebinds the view to the new context. *)
+
 val of_list : (int * int) list -> t
 val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
 (** Folds over all live bindings in unspecified order. *)

@@ -1,5 +1,11 @@
 type t = { lo : int; hi : int; mutable violations : int }
 
+(* Process-wide violation total (DESIGN.md section 11): the per-instance
+   [violations] accessor is unchanged; the striped counter folds every
+   guardrail into one registry row.  Incremented only on the (cold)
+   clamping paths. *)
+let c_violations = Obs.Counter.make "rmt.guardrail.violations"
+
 let create ~lo ~hi =
   if lo > hi then invalid_arg "Guardrail.create: lo > hi";
   { lo; hi; violations = 0 }
@@ -7,10 +13,12 @@ let create ~lo ~hi =
 let apply t v =
   if v < t.lo then begin
     t.violations <- t.violations + 1;
+    Obs.Counter.incr c_violations;
     t.lo
   end
   else if v > t.hi then begin
     t.violations <- t.violations + 1;
+    Obs.Counter.incr c_violations;
     t.hi
   end
   else v

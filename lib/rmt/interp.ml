@@ -2,6 +2,12 @@ exception Fuel_exhausted
 
 type outcome = { result : int; steps : int; privacy_denied : int }
 
+(* Engine totals, bumped once per invocation (never per step) so the
+   inner dispatch loop stays untouched.  The per-program accessors
+   (Loaded.runs / total_steps) are unchanged. *)
+let c_runs = Obs.Counter.make "rmt.interp.runs"
+let c_steps = Obs.Counter.make "rmt.interp.steps"
+
 let max_tail_depth = 32
 
 type state = {
@@ -241,6 +247,8 @@ let run ?fuel (loaded : Loaded.t) ~ctxt ~now =
   let result = run_program loaded 0 in
   loaded.runs <- loaded.runs + 1;
   loaded.total_steps <- loaded.total_steps + st.steps;
+  Obs.Counter.incr c_runs;
+  Obs.Counter.add c_steps st.steps;
   (match loaded.privacy with
    | Some _ -> ()
    | None -> ());

@@ -448,10 +448,30 @@ let fresh_st () =
     tail_slot = 0;
     result = 0 }
 
+(* Engine totals (DESIGN.md section 11), bumped once per invocation /
+   compilation — the threaded dispatch itself stays untouched.
+   [elided_sites] counts instructions whose runtime guards the compiler
+   specialized away on the strength of a verifier proof. *)
+let c_runs = Obs.Counter.make "rmt.jit.runs"
+let c_steps = Obs.Counter.make "rmt.jit.steps"
+let c_compiles = Obs.Counter.make "rmt.jit.compiles"
+let c_elided_sites = Obs.Counter.make "rmt.jit.elided_guard_sites"
+
+let count_elided_sites (loaded : Loaded.t) =
+  Array.fold_left
+    (fun acc p ->
+      if Absint.Proof.key_dense p || Absint.Proof.key_nonneg p
+         || Absint.Proof.window_in_bounds p
+      then acc + 1
+      else acc)
+    0 loaded.Loaded.proofs
+
 let compile loaded =
   let root = compile_unit loaded in
   let cache = Hashtbl.create 4 in
   Hashtbl.replace cache (Loaded.uid loaded) root;
+  Obs.Counter.incr c_compiles;
+  Obs.Counter.add c_elided_sites (count_elided_sites loaded);
   { root; cache; st = fresh_st () }
 
 (* The unit cache is keyed by the loaded instance's unique id, so distinct
@@ -499,6 +519,8 @@ let exec t ~ctxt ~now =
   let result = exec_unit t t.root 0 in
   t.root.loaded.Loaded.runs <- t.root.loaded.Loaded.runs + 1;
   t.root.loaded.Loaded.total_steps <- t.root.loaded.Loaded.total_steps + st.steps;
+  Obs.Counter.incr c_runs;
+  Obs.Counter.add c_steps st.steps;
   result
 
 let last_steps t = t.st.steps

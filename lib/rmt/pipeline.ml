@@ -1,4 +1,8 @@
-type hook_state = { mutable tables : Table.t list; mutable firings : int }
+type hook_state = {
+  mutable tables : Table.t list;
+  mutable firings : int;
+  hook_id : int; (* interned once; trace events carry this id *)
+}
 
 type t = {
   hooks : (string, hook_state) Hashtbl.t;
@@ -11,7 +15,7 @@ let state t hook =
   match Hashtbl.find_opt t.hooks hook with
   | Some s -> s
   | None ->
-    let s = { tables = []; firings = 0 } in
+    let s = { tables = []; firings = 0; hook_id = Obs.intern hook } in
     Hashtbl.replace t.hooks hook s;
     t.order <- t.order @ [ hook ];
     s
@@ -33,12 +37,22 @@ let tables_at t ~hook =
 
 let hooks t = List.filter (fun h -> tables_at t ~hook:h <> []) t.order
 
+(* Hook dispatch totals; the ambient hook id lets VM-level trace events
+   attribute themselves to the hook whose table dispatched them. *)
+let c_firings = Obs.Counter.make "rmt.pipeline.firings"
+
 let fire_all t ~hook ~ctxt ~now =
   match Hashtbl.find_opt t.hooks hook with
   | None -> []
   | Some s ->
-    if s.tables <> [] then s.firings <- s.firings + 1;
-    List.map (fun table -> Table.lookup table ~ctxt ~now) s.tables
+    if s.tables <> [] then begin
+      s.firings <- s.firings + 1;
+      Obs.Counter.incr c_firings
+    end;
+    if Obs.enabled () then Obs.Trace.set_current_hook s.hook_id;
+    let results = List.map (fun table -> Table.lookup table ~ctxt ~now) s.tables in
+    if Obs.enabled () then Obs.Trace.set_current_hook (-1);
+    results
 
 let fire t ~hook ~ctxt ~now =
   match List.rev (fire_all t ~hook ~ctxt ~now) with

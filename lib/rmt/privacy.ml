@@ -4,6 +4,13 @@ type account = {
   mutable denials : int;
 }
 
+(* Process-wide DP accounting (DESIGN.md section 11); per-account
+   accessors are unchanged.  Privacy-charged helpers are rare on the
+   datapath, so counting every charge outcome is cheap. *)
+let c_grants = Obs.Counter.make "rmt.privacy.grants"
+let c_denials = Obs.Counter.make "rmt.privacy.denials"
+let c_spent_milli = Obs.Counter.make "rmt.privacy.spent_milli"
+
 let create ~epsilon_milli =
   if epsilon_milli < 0 then invalid_arg "Privacy.create: negative budget";
   { budget_milli = epsilon_milli; spent_milli = 0; denials = 0 }
@@ -18,10 +25,13 @@ let charge t ~cost_milli =
   if cost_milli <= 0 then invalid_arg "Privacy.charge: cost must be positive";
   if remaining_milli t >= cost_milli then begin
     t.spent_milli <- t.spent_milli + cost_milli;
+    Obs.Counter.incr c_grants;
+    Obs.Counter.add c_spent_milli cost_milli;
     Granted { epsilon_milli = cost_milli }
   end
   else begin
     t.denials <- t.denials + 1;
+    Obs.Counter.incr c_denials;
     Denied
   end
 

@@ -3,21 +3,42 @@ let ns_per_sec = 1_000_000_000
 type t = {
   tokens_per_sec : int;
   burst : int;
+  burst_ns : int; (* burst scaled by ns_per_sec, saturated at max_int *)
   mutable tokens_ns : int; (* scaled by ns_per_sec to avoid fractional tokens *)
   mutable last_refill : int;
   mutable throttled : int;
 }
 
+(* Process-wide throttling totals; the per-bucket [throttled] accessor is
+   unchanged.  Only the refusal path (cold) touches the counters. *)
+let c_throttle_events = Obs.Counter.make "rmt.rate_limit.throttle_events"
+let c_throttled_units = Obs.Counter.make "rmt.rate_limit.throttled_units"
+
+(* Saturating arithmetic: clock values and requests arrive from programs
+   and simulated time, so [min_int]/[max_int] corners must clamp instead
+   of wrapping (test/test_rmt_infra.ml pins these down). *)
+let sat_add a b =
+  let s = a + b in
+  if a >= 0 && b >= 0 && s < 0 then max_int else s
+
+let sat_mul_pos a b = if a > 0 && b > 0 && a > max_int / b then max_int else a * b
+
 let create ~tokens_per_sec ~burst ~now =
   if tokens_per_sec <= 0 then invalid_arg "Rate_limit.create: tokens_per_sec must be positive";
   if burst <= 0 then invalid_arg "Rate_limit.create: burst must be positive";
-  { tokens_per_sec; burst; tokens_ns = burst * ns_per_sec; last_refill = now; throttled = 0 }
+  let burst_ns = sat_mul_pos burst ns_per_sec in
+  { tokens_per_sec; burst; burst_ns; tokens_ns = burst_ns; last_refill = now; throttled = 0 }
 
 let refill t ~now =
   if now > t.last_refill then begin
-    let elapsed = now - t.last_refill in
-    let gained = elapsed * t.tokens_per_sec in
-    t.tokens_ns <- Stdlib.min (t.burst * ns_per_sec) (t.tokens_ns + gained);
+    (* [now - last_refill] can wrap when the clock spans the int range
+       (last near min_int, now near max_int): saturate instead. *)
+    let elapsed =
+      let e = now - t.last_refill in
+      if e < 0 then max_int else e
+    in
+    let gained = sat_mul_pos elapsed t.tokens_per_sec in
+    t.tokens_ns <- Stdlib.min t.burst_ns (sat_add t.tokens_ns gained);
     t.last_refill <- now
   end
 
@@ -31,12 +52,17 @@ let grant t ~now ~request =
   let avail = t.tokens_ns / ns_per_sec in
   let granted = Stdlib.min request avail in
   t.tokens_ns <- t.tokens_ns - (granted * ns_per_sec);
-  t.throttled <- t.throttled + (request - granted);
+  let refused = request - granted in
+  t.throttled <- sat_add t.throttled refused;
+  if refused > 0 then begin
+    Obs.Counter.incr c_throttle_events;
+    Obs.Counter.add c_throttled_units refused
+  end;
   granted
 
 let throttled t = t.throttled
 
 let reset t ~now =
-  t.tokens_ns <- t.burst * ns_per_sec;
+  t.tokens_ns <- t.burst_ns;
   t.last_refill <- now;
   t.throttled <- 0

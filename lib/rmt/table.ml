@@ -44,6 +44,12 @@ type t = {
 (* Bitmask bookkeeping needs one bit per match key. *)
 let max_indexable_arity = 60
 
+(* Process-wide match totals across every table (DESIGN.md section 11);
+   the per-table / per-entry hit accessors below are unchanged. *)
+let c_lookups = Obs.Counter.make "rmt.table.lookups"
+let c_default_hits = Obs.Counter.make "rmt.table.default_hits"
+let c_inserts = Obs.Counter.make "rmt.table.inserts"
+
 let create ~name ~match_keys ~default =
   { name;
     match_keys = Array.copy match_keys;
@@ -171,6 +177,7 @@ let insert t ?(priority = 0) ~patterns action =
   t.next_seq <- t.next_seq + 1;
   t.entries <- List.sort entry_order (entry :: t.entries);
   rebuild_lookup t;
+  Obs.Counter.incr c_inserts;
   entry.id
 
 let remove t id =
@@ -223,9 +230,11 @@ let run_action action ~ctxt ~now =
 
 let lookup t ~ctxt ~now =
   t.total_hits <- t.total_hits + 1;
+  Obs.Counter.incr c_lookups;
   let e = find_entry t (read_fields t ~ctxt) in
   if e == no_entry then begin
     t.default_hits <- t.default_hits + 1;
+    Obs.Counter.incr c_default_hits;
     run_action t.default ~ctxt ~now
   end
   else begin

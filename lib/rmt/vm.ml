@@ -1,5 +1,12 @@
 type engine = Interpreted | Jit_compiled
 
+(* Datapath telemetry (DESIGN.md section 11): one counter bump, one
+   histogram observation and one trace event per invocation, all behind
+   [Obs.enabled] and all allocation-free — the steady-state zero-alloc
+   contract of the JIT fast path is Gc-verified with telemetry on. *)
+let c_invocations = Obs.Counter.make "rmt.vm.invocations"
+let h_steps = Obs.Histo.make "rmt.vm.steps"
+
 type t = {
   loaded : Loaded.t;
   mutable engine : engine;
@@ -8,14 +15,25 @@ type t = {
      first invocation; hence the deferred initialization below. *)
   mutable limiter_state : Rate_limit.t option;
   mutable limiter_initialized : bool;
+  elided_sites : int; (* static count of proof-elided guard sites *)
 }
+
+let count_elided_sites (loaded : Loaded.t) =
+  Array.fold_left
+    (fun acc p ->
+      if Absint.Proof.key_dense p || Absint.Proof.key_nonneg p
+         || Absint.Proof.window_in_bounds p
+      then acc + 1
+      else acc)
+    0 loaded.Loaded.proofs
 
 let create ?(engine = Jit_compiled) loaded =
   { loaded;
     engine;
     compiled = (match engine with Jit_compiled -> Some (Jit.compile loaded) | Interpreted -> None);
     limiter_state = None;
-    limiter_initialized = false }
+    limiter_initialized = false;
+    elided_sites = count_elided_sites loaded }
 
 let engine t = t.engine
 
@@ -26,6 +44,7 @@ let set_engine t e =
   | Interpreted -> ()
 
 let loaded t = t.loaded
+let elided_guard_sites t = t.elided_sites
 
 let limiter_for t ~now =
   if not t.limiter_initialized then begin
@@ -46,27 +65,73 @@ let compiled_for t =
     t.compiled <- Some c;
     c
 
+let engine_code = function Interpreted -> 0 | Jit_compiled -> 1
+
+(* One fixed-size flight-recorder event per invocation.  The guardrail
+   clamps inside the engines, so its contribution is detected as a
+   violation-count delta across the run; throttling and privacy denials
+   are visible directly. *)
+let record t ~violations_before ~steps ~result ~throttled ~denied =
+  Obs.Counter.incr c_invocations;
+  Obs.Histo.observe h_steps steps;
+  let flags =
+    (if throttled then Obs.Trace.flag_throttled else 0)
+    lor
+    (if denied > 0 then Obs.Trace.flag_privacy_denied else 0)
+    lor
+    match t.loaded.Loaded.guardrail with
+    | Some g when Guardrail.violations g > violations_before -> Obs.Trace.flag_guardrail
+    | Some _ | None -> 0
+  in
+  Obs.Trace.emit
+    ~hook:(Obs.Trace.current_hook ())
+    ~uid:t.loaded.Loaded.uid
+    ~engine:(engine_code t.engine)
+    ~steps ~elided:t.elided_sites ~result ~flags
+
+let guardrail_violations_now t =
+  match t.loaded.Loaded.guardrail with Some g -> Guardrail.violations g | None -> 0
+
 let invoke t ~ctxt ~now =
+  let violations_before = guardrail_violations_now t in
   let outcome =
     match t.engine with
     | Interpreted -> Interp.run t.loaded ~ctxt ~now
     | Jit_compiled -> Jit.run (compiled_for t) ~ctxt ~now
   in
-  match limiter_for t ~now with
-  | None -> outcome
-  | Some bucket ->
-    let granted = Rate_limit.grant bucket ~now:(now ()) ~request:outcome.Interp.result in
-    { outcome with Interp.result = granted }
+  let outcome, throttled =
+    match limiter_for t ~now with
+    | None -> (outcome, false)
+    | Some bucket ->
+      let granted = Rate_limit.grant bucket ~now:(now ()) ~request:outcome.Interp.result in
+      ({ outcome with Interp.result = granted }, granted < outcome.Interp.result)
+  in
+  if Obs.enabled () then
+    record t ~violations_before ~steps:outcome.Interp.steps ~result:outcome.Interp.result
+      ~throttled ~denied:outcome.Interp.privacy_denied;
+  outcome
 
 let invoke_result t ~ctxt ~now =
-  let result =
+  let violations_before = guardrail_violations_now t in
+  let result, steps, denied =
     match t.engine with
-    | Interpreted -> (Interp.run t.loaded ~ctxt ~now).Interp.result
-    | Jit_compiled -> Jit.exec (compiled_for t) ~ctxt ~now
+    | Interpreted ->
+      let o = Interp.run t.loaded ~ctxt ~now in
+      (o.Interp.result, o.Interp.steps, o.Interp.privacy_denied)
+    | Jit_compiled ->
+      let c = compiled_for t in
+      let result = Jit.exec c ~ctxt ~now in
+      (result, Jit.last_steps c, Jit.last_privacy_denied c)
   in
-  match limiter_for t ~now with
-  | None -> result
-  | Some bucket -> Rate_limit.grant bucket ~now:(now ()) ~request:result
+  let result, throttled =
+    match limiter_for t ~now with
+    | None -> (result, false)
+    | Some bucket ->
+      let granted = Rate_limit.grant bucket ~now:(now ()) ~request:result in
+      (granted, granted < result)
+  in
+  if Obs.enabled () then record t ~violations_before ~steps ~result ~throttled ~denied;
+  result
 
 let jit_units t =
   match t.compiled with Some c -> Jit.compiled_units c | None -> 0

@@ -15,4 +15,5 @@ let () =
          Test_encoding.suite;
          Test_extensions.suite;
          Test_more.suite;
-         Test_par.suite ])
+         Test_par.suite;
+         Test_obs.suite ])

@@ -176,6 +176,52 @@ let test_adapt_hysteresis () =
   Alcotest.(check bool) "stays normal in the band" true (Rkd.Adapt.mode m = Rkd.Adapt.Normal);
   Alcotest.(check int) "no transitions" 0 (Rkd.Adapt.transitions m)
 
+let test_adapt_zero_observations () =
+  let m = Rkd.Adapt.create ~low:0.4 ~high:0.7 ~window:10 () in
+  Alcotest.(check int) "no observations yet" 0 (Rkd.Adapt.observations m);
+  (* Before the first full window the reported rate is the optimistic
+     prior, and no transition can have fired. *)
+  Alcotest.(check (float 0.0)) "rate defaults to 1.0" 1.0 (Rkd.Adapt.rate m);
+  Alcotest.(check bool) "mode normal" true (Rkd.Adapt.mode m = Rkd.Adapt.Normal);
+  Alcotest.(check int) "no transitions" 0 (Rkd.Adapt.transitions m)
+
+let test_adapt_boundary_rates () =
+  (* The hysteresis comparisons are strict: a window landing exactly on a
+     threshold must not cross it in either direction. *)
+  let feed m ~correct ~wrong =
+    for _ = 1 to correct do
+      Rkd.Adapt.observe m ~correct:true
+    done;
+    for _ = 1 to wrong do
+      Rkd.Adapt.observe m ~correct:false
+    done
+  in
+  let m = Rkd.Adapt.create ~low:0.5 ~high:0.75 ~window:4 () in
+  feed m ~correct:2 ~wrong:2 (* rate = low exactly *);
+  Alcotest.(check bool) "rate == low stays normal" true (Rkd.Adapt.mode m = Rkd.Adapt.Normal);
+  feed m ~correct:1 ~wrong:3 (* rate strictly below low *);
+  Alcotest.(check bool) "rate < low degrades" true
+    (Rkd.Adapt.mode m = Rkd.Adapt.Conservative);
+  feed m ~correct:3 ~wrong:1 (* rate = high exactly *);
+  Alcotest.(check bool) "rate == high stays conservative" true
+    (Rkd.Adapt.mode m = Rkd.Adapt.Conservative);
+  feed m ~correct:4 ~wrong:0 (* rate strictly above high *);
+  Alcotest.(check bool) "rate > high recovers" true (Rkd.Adapt.mode m = Rkd.Adapt.Normal);
+  Alcotest.(check int) "exactly two transitions" 2 (Rkd.Adapt.transitions m);
+  (* Degenerate thresholds: low = high = 0 can never degrade (rate >= 0
+     is never strictly below 0); low = high = 1 can never recover once
+     degraded... but also can never degrade from a perfect window. *)
+  let never = Rkd.Adapt.create ~low:0.0 ~high:0.0 ~window:2 () in
+  feed never ~correct:0 ~wrong:4;
+  Alcotest.(check bool) "rate 0 not < low 0" true (Rkd.Adapt.mode never = Rkd.Adapt.Normal);
+  let pinned = Rkd.Adapt.create ~low:1.0 ~high:1.0 ~window:2 () in
+  feed pinned ~correct:0 ~wrong:2;
+  Alcotest.(check bool) "degrades below low 1.0" true
+    (Rkd.Adapt.mode pinned = Rkd.Adapt.Conservative);
+  feed pinned ~correct:2 ~wrong:0;
+  Alcotest.(check bool) "perfect window not > high 1.0" true
+    (Rkd.Adapt.mode pinned = Rkd.Adapt.Conservative)
+
 let test_adapt_validation () =
   Alcotest.check_raises "bad thresholds"
     (Invalid_argument "Adapt.create: need 0 <= low <= high <= 1") (fun () ->
@@ -239,6 +285,8 @@ let suite =
     ( "adapt",
       [ Alcotest.test_case "transitions" `Quick test_adapt_transitions;
         Alcotest.test_case "hysteresis" `Quick test_adapt_hysteresis;
+        Alcotest.test_case "zero observations" `Quick test_adapt_zero_observations;
+        Alcotest.test_case "boundary rates" `Quick test_adapt_boundary_rates;
         Alcotest.test_case "validation" `Quick test_adapt_validation ] );
     ( "experiment",
       [ Alcotest.test_case "privacy ablation shape" `Quick test_privacy_ablation_shape;

@@ -243,6 +243,60 @@ let test_guardrail () =
   Alcotest.(check int) "clamp lo" 0 (Rmt.Guardrail.apply g (-3));
   Alcotest.(check int) "violations" 2 (Rmt.Guardrail.violations g)
 
+let test_guardrail_extremes () =
+  (* Zero-width band: everything outside the single admitted value clamps. *)
+  let g = Rmt.Guardrail.create ~lo:7 ~hi:7 in
+  Alcotest.(check int) "min_int clamps up" 7 (Rmt.Guardrail.apply g min_int);
+  Alcotest.(check int) "max_int clamps down" 7 (Rmt.Guardrail.apply g max_int);
+  Alcotest.(check int) "exact value passes" 7 (Rmt.Guardrail.apply g 7);
+  Alcotest.(check int) "two violations" 2 (Rmt.Guardrail.violations g);
+  (* Full-width band: nothing clamps, including the extremes themselves. *)
+  let all = Rmt.Guardrail.create ~lo:min_int ~hi:max_int in
+  Alcotest.(check int) "min_int passes" min_int (Rmt.Guardrail.apply all min_int);
+  Alcotest.(check int) "max_int passes" max_int (Rmt.Guardrail.apply all max_int);
+  Alcotest.(check int) "no violations" 0 (Rmt.Guardrail.violations all);
+  (* Bands touching one extreme clamp toward it without wrapping. *)
+  let neg = Rmt.Guardrail.create ~lo:min_int ~hi:(-1) in
+  Alcotest.(check int) "clamps into negative band" (-1) (Rmt.Guardrail.apply neg max_int);
+  Alcotest.check_raises "inverted band rejected"
+    (Invalid_argument "Guardrail.create: lo > hi") (fun () ->
+      ignore (Rmt.Guardrail.create ~lo:1 ~hi:0))
+
+let test_rate_limit_extremes () =
+  (* A clock that spans the whole int range: [now - last_refill] would
+     wrap negative; the refill must saturate, not stall or go negative. *)
+  let bucket = Rmt.Rate_limit.create ~tokens_per_sec:1 ~burst:5 ~now:min_int in
+  ignore (Rmt.Rate_limit.grant bucket ~now:min_int ~request:5);
+  let g = Rmt.Rate_limit.grant bucket ~now:max_int ~request:3 in
+  Alcotest.(check int) "wrapping clock still refills to burst" 3 g;
+  (* max_int burst: the internal nanosecond scaling must saturate instead
+     of overflowing into a negative token count. *)
+  let big = Rmt.Rate_limit.create ~tokens_per_sec:max_int ~burst:max_int ~now:0 in
+  let got = Rmt.Rate_limit.grant big ~now:1 ~request:max_int in
+  Alcotest.(check bool) "saturated grant is non-negative" true (got >= 0);
+  Alcotest.(check bool) "saturated grant is bounded" true (got <= max_int);
+  Alcotest.(check bool) "available never negative" true
+    (Rmt.Rate_limit.available big ~now:2 >= 0);
+  (* max_int requests against a small bucket: throttled accounting
+     saturates rather than wrapping negative. *)
+  let small = Rmt.Rate_limit.create ~tokens_per_sec:1 ~burst:1 ~now:0 in
+  ignore (Rmt.Rate_limit.grant small ~now:0 ~request:max_int);
+  ignore (Rmt.Rate_limit.grant small ~now:0 ~request:max_int);
+  Alcotest.(check int) "throttled saturates at max_int" max_int
+    (Rmt.Rate_limit.throttled small);
+  (* Negative requests are treated as zero, not as a refund. *)
+  let refund = Rmt.Rate_limit.create ~tokens_per_sec:10 ~burst:2 ~now:0 in
+  Alcotest.(check int) "negative request grants zero" 0
+    (Rmt.Rate_limit.grant refund ~now:0 ~request:min_int);
+  Alcotest.(check int) "bucket unchanged by negative request" 2
+    (Rmt.Rate_limit.available refund ~now:0);
+  (* A clock that runs backwards must not refill. *)
+  let back = Rmt.Rate_limit.create ~tokens_per_sec:1_000_000_000 ~burst:4 ~now:1_000 in
+  Alcotest.(check int) "drain at creation time" 4
+    (Rmt.Rate_limit.grant back ~now:1_000 ~request:4);
+  Alcotest.(check int) "no refill on backwards clock" 0
+    (Rmt.Rate_limit.grant back ~now:0 ~request:1)
+
 (* ---------------- Model store ---------------- *)
 
 let test_model_store () =
@@ -318,7 +372,9 @@ let suite =
     ( "rate_guard",
       [ Alcotest.test_case "rate limit grants" `Quick test_rate_limit_grants;
         Alcotest.test_case "rate limit in vm" `Quick test_rate_limit_in_vm;
-        Alcotest.test_case "guardrail" `Quick test_guardrail ] );
+        Alcotest.test_case "rate limit int extremes" `Quick test_rate_limit_extremes;
+        Alcotest.test_case "guardrail" `Quick test_guardrail;
+        Alcotest.test_case "guardrail int extremes" `Quick test_guardrail_extremes ] );
     ( "model_store",
       [ Alcotest.test_case "lifecycle" `Quick test_model_store ] );
     ( "builder",
