@@ -1,5 +1,5 @@
 .PHONY: all build test bench table1 table2 ablations micro bench-json perf-check \
-        bench-macro perf-check-macro check lint examples clean
+        bench-macro perf-check-macro check lint chaos examples clean
 
 all: build
 
@@ -46,12 +46,23 @@ perf-check-macro:
 lint:
 	dune exec bin/rkdctl.exe -- absint-fuzz --trials 1500
 
+# Chaos soak (DESIGN.md section 12): 1000 seeded fault scenarios at pool
+# widths 1 and 4 — zero uncaught exceptions, every breaker re-closed
+# (rkdctl exits non-zero otherwise), and bit-identical digests across
+# the two widths.
+chaos:
+	@d1=$$(dune exec bin/rkdctl.exe -- chaos -n 1000 -d 1 | tee /dev/stderr | grep -o 'digest [0-9a-f]*'); \
+	d4=$$(dune exec bin/rkdctl.exe -- chaos -n 1000 -d 4 | tee /dev/stderr | grep -o 'digest [0-9a-f]*'); \
+	test -n "$$d1" && test "$$d1" = "$$d4" \
+	  || { echo "chaos: digest mismatch across pool widths ($$d1 vs $$d4)"; exit 1; }
+
 # The umbrella CI gate: warning-clean build, absint fuzz smoke, full test
-# suite, micro perf regression check.
+# suite, chaos soak, micro perf regression check.
 check:
 	dune build @all
 	$(MAKE) lint
 	dune runtest --force --no-buffer
+	$(MAKE) chaos
 	$(MAKE) perf-check
 
 examples:

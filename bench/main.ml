@@ -104,6 +104,34 @@ let absint_fixture () =
   done;
   (elided, guarded, ctxt, prog, helpers)
 
+(* Failsafe-layer fixture (DESIGN.md section 12): the same hook wired
+   bare and breaker-protected, so the failsafe/* rows quantify what the
+   protection costs on a healthy (closed-breaker, no-fault) datapath. *)
+let failsafe_fixture () =
+  let open Rmt in
+  let prog =
+    let b = Builder.create ~name:"fs_bench" ~vmem_size:1 () in
+    Builder.add_capability b (Program.Guarded { lo = 0; hi = 4095 });
+    Builder.emit b (Insn.Ld_ctxt_k (0, 0));
+    Builder.emit b (Insn.Alu_imm (Insn.And, 0, 4095));
+    Builder.emit b Insn.Exit;
+    Builder.finish b ()
+  in
+  let control = Control.create () in
+  let vm = Result.get_ok (Control.install control prog) in
+  let bare = Control.create_table control ~name:"fs_bare" ~match_keys:[||] ~default:(Table.Run vm) in
+  let guarded =
+    Control.create_table control ~name:"fs_guarded" ~match_keys:[||] ~default:(Table.Run vm)
+  in
+  Control.attach control ~hook:"fs_bare" bare;
+  Control.attach control ~hook:"fs_guarded" guarded;
+  let breaker =
+    Control.protect control ~hook:"fs_guarded" ~programs:[ "fs_bench" ]
+      ~fallback:(fun _ -> 0) ()
+  in
+  let ctxt = Ctxt.of_list [ (0, 1234) ] in
+  (control, breaker, ctxt)
+
 let micro_tests () =
   let collect_i, predict_i, ctxt_i, _ = prefetch_fixture Rmt.Vm.Interpreted in
   let collect_j, predict_j, ctxt_j, tree = prefetch_fixture Rmt.Vm.Jit_compiled in
@@ -122,6 +150,7 @@ let micro_tests () =
     t
   in
   let table_ctxt = Rmt.Ctxt.of_list [ (0, 40) ] in
+  let fs_control, fs_breaker, fs_ctxt = failsafe_fixture () in
   let obs_counter = Obs.Counter.make "bench.obs.counter" in
   let obs_histo = Obs.Histo.make "bench.obs.histo" in
   [ (* Figure 1 family: the VM itself, interpreted vs JIT. *)
@@ -173,7 +202,16 @@ let micro_tests () =
     Test.make_with_resource ~name:"obs/invoke-jit-off" Test.uniq
       ~allocate:(fun () -> Obs.set_enabled false)
       ~free:(fun () -> Obs.set_enabled true)
-      (Staged.stage (fun () -> Rmt.Vm.invoke predict_j ~ctxt:ctxt_j ~now)) ]
+      (Staged.stage (fun () -> Rmt.Vm.invoke predict_j ~ctxt:ctxt_j ~now));
+    (* Failsafe rows (DESIGN.md section 12): hook dispatch bare vs
+       breaker-protected on the healthy path (closed breaker, no faults),
+       plus the breaker admission check itself. *)
+    Test.make ~name:"failsafe/fire-bare"
+      (Staged.stage (fun () -> Rmt.Control.fire fs_control ~hook:"fs_bare" ~ctxt:fs_ctxt));
+    Test.make ~name:"failsafe/fire-protected"
+      (Staged.stage (fun () -> Rmt.Control.fire fs_control ~hook:"fs_guarded" ~ctxt:fs_ctxt));
+    Test.make ~name:"failsafe/breaker-allow"
+      (Staged.stage (fun () -> Rmt.Breaker.allow fs_breaker ~now:0)) ]
 
 (* Run the Bechamel suite and return [(name, ns_per_run)] in suite order. *)
 let measure_micro () =

@@ -104,6 +104,82 @@ let absint_fuzz_cmd =
   in
   Cmd.v (Cmd.info "absint-fuzz" ~doc) Term.(const run $ trials_arg $ seed_arg)
 
+let decode_fuzz_cmd =
+  let run trials seed =
+    match Rmt.Fuzz.decode_fuzz ~seed ~trials () with
+    | stats ->
+      Format.printf "decode-fuzz: %a@." Rmt.Fuzz.pp_decode_stats stats;
+      0
+    | exception Rmt.Fuzz.Unsound msg ->
+      Format.printf "decode-fuzz: DECODER ESCAPE@.%s@." msg;
+      1
+  in
+  let trials_arg =
+    Arg.(value & opt int 300 & info [ "t"; "trials" ] ~docv:"N" ~doc:"Random programs to try.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0xdec0de & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+  in
+  let doc =
+    "fuzz the wire-format decoder with seeded bit flips, truncations and appends (a decode \
+     must return Ok or Error, never raise)"
+  in
+  Cmd.v (Cmd.info "decode-fuzz" ~doc) Term.(const run $ trials_arg $ seed_arg)
+
+let chaos_cmd =
+  let run scenarios events seed domains snapshot =
+    (match domains with Some n -> Par.set_global_domains n | None -> ());
+    let before = Obs.Registry.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    let summary, _reports = Rkd.Chaos.run ~seed ~events ~pool:(Par.global ()) ~scenarios () in
+    Format.printf "%a@." Rkd.Chaos.pp_summary summary;
+    Format.printf "[chaos] elapsed %.2f s (domains=%d)@."
+      (Unix.gettimeofday () -. t0)
+      (Par.global_domains ());
+    (match snapshot with
+     | None -> ()
+     | Some path ->
+       let after = Obs.Registry.snapshot () in
+       let snap =
+         Obs.Snapshot.filter
+           (Obs.Snapshot.diff ~before ~after)
+           ~prefixes:
+             [ "rmt.breaker"; "rmt.fault"; "rmt.canary"; "rmt.vm"; "rmt.pipeline";
+               "rmt.control" ]
+       in
+       let oc = open_out path in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () -> output_string oc (Obs.Snapshot.to_json snap));
+       Format.printf "wrote breaker/fault snapshot to %s@." path);
+    if summary.Rkd.Chaos.total_uncaught > 0 || summary.Rkd.Chaos.not_reclosed > 0 then 1
+    else 0
+  in
+  let scenarios_arg =
+    Arg.(value & opt int 200 & info [ "n"; "scenarios" ] ~docv:"N" ~doc:"Fault scenarios to run.")
+  in
+  let events_arg =
+    Arg.(value & opt int 200 & info [ "events" ] ~docv:"N" ~doc:"Faulted events per scenario.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0xc4a05 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Master seed.")
+  in
+  let domains_arg =
+    Arg.(value & opt (some int) None & info [ "d"; "domains" ] ~docv:"N"
+           ~doc:"Domain-pool width (defaults to \\$(b,RKD_DOMAINS) or the core count).")
+  in
+  let snapshot_arg =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot" ] ~docv:"FILE"
+             ~doc:"Write the breaker/fault/canary telemetry delta as JSON to FILE.")
+  in
+  let doc =
+    "chaos soak: seeded fault-injection scenarios over the failsafe datapath; fails unless \
+     every scenario contains its faults and every breaker re-closes"
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ scenarios_arg $ events_arg $ seed_arg $ domains_arg $ snapshot_arg)
+
 let disasm_cmd =
   let run path =
     match parse_program path with
@@ -131,12 +207,16 @@ let run_cmd =
          1
        | Ok vm ->
          let ctxt = Rmt.Ctxt.of_list bindings in
-         let outcome = Rmt.Vm.invoke vm ~ctxt ~now:(fun () -> 0) in
-         Format.printf "result = %d (steps = %d, privacy denials = %d)@."
-           outcome.Rmt.Interp.result outcome.Rmt.Interp.steps
-           outcome.Rmt.Interp.privacy_denied;
-         Format.printf "context after run: %a@." Rmt.Ctxt.pp ctxt;
-         0)
+         (match Rmt.Vm.invoke_checked vm ~ctxt ~now:(fun () -> 0) with
+          | Ok outcome ->
+            Format.printf "result = %d (steps = %d, privacy denials = %d)@."
+              outcome.Rmt.Interp.result outcome.Rmt.Interp.steps
+              outcome.Rmt.Interp.privacy_denied;
+            Format.printf "context after run: %a@." Rmt.Ctxt.pp ctxt;
+            0
+          | Error trap ->
+            Format.printf "trap: %s@." (Rmt.Interp.trap_message trap);
+            1))
   in
   let doc = "verify, install and run a program once" in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ program_arg $ ctxt_arg $ engine_arg)
@@ -344,7 +424,8 @@ let main =
   in
   Cmd.group
     (Cmd.info "rkdctl" ~version:"1.0.0" ~doc)
-    [ verify_cmd; disasm_cmd; run_cmd; assemble_cmd; absint_fuzz_cmd; stats_cmd; trace_cmd;
-      table1_cmd; table2_cmd; ablations_cmd; overhead_cmd; shapes_cmd ]
+    [ verify_cmd; disasm_cmd; run_cmd; assemble_cmd; absint_fuzz_cmd; decode_fuzz_cmd;
+      chaos_cmd; stats_cmd; trace_cmd; table1_cmd; table2_cmd; ablations_cmd; overhead_cmd;
+      shapes_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -21,10 +21,21 @@ type t = {
 }
 
 let create ?(low = 0.3) ?(high = 0.6) ?(window = 256) ?(on_degrade = ignore)
-    ?(on_recover = ignore) () =
+    ?(on_recover = ignore) ?breaker ?(now = fun () -> 0) () =
   if not (0.0 <= low && low <= high && high <= 1.0) then
     invalid_arg "Adapt.create: need 0 <= low <= high <= 1";
   if window <= 0 then invalid_arg "Adapt.create: window must be positive";
+  (* An accuracy collapse is a datapath health signal, not just a tuning
+     event: when a breaker is wired in, degrading force-opens it so the
+     hook falls back to the stock heuristic until probes pass. *)
+  let on_degrade =
+    match breaker with
+    | None -> on_degrade
+    | Some b ->
+      fun () ->
+        Rmt.Breaker.trip b ~now:(now ());
+        on_degrade ()
+  in
   { low;
     high;
     window;

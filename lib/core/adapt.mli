@@ -20,10 +20,18 @@ val create :
   ?window:int ->
   ?on_degrade:(unit -> unit) ->
   ?on_recover:(unit -> unit) ->
+  ?breaker:Rmt.Breaker.t ->
+  ?now:(unit -> int) ->
   unit ->
   t
 (** Defaults: [low] = 0.3, [high] = 0.6, [window] = 256 observations.
-    Raises [Invalid_argument] unless [0 <= low <= high <= 1]. *)
+    Raises [Invalid_argument] unless [0 <= low <= high <= 1].
+
+    When [breaker] is given, entering [Conservative] additionally trips
+    it ({!Rmt.Breaker.trip}, timestamped with [now], default constant 0)
+    before running [on_degrade] — an accuracy collapse then also routes
+    the protected hook to its stock-heuristic fallback (DESIGN.md
+    section 12). *)
 
 val observe : t -> correct:bool -> unit
 val mode : t -> mode

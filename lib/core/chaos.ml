@@ -1,0 +1,254 @@
+(* Chaos soak harness (DESIGN.md section 12): each scenario is a pure
+   function of (master seed, scenario index) — a seeded fault plan armed
+   through the domain-local scope of {!Rmt.Fault.with_plan}, a fresh
+   control plane, a few hundred driven events, then a fault-free recovery
+   phase that must re-close the breaker.  Because nothing escapes the
+   scenario but its digest, running the batch on a 1-domain and a
+   4-domain pool must produce bit-identical digests. *)
+
+type scenario_report = {
+  index : int;
+  flavor : string;
+  digest : int;
+  events : int;
+  fallbacks : int;
+  breaker_opens : int;
+  uncaught : int; (* exceptions that escaped the datapath; must be 0 *)
+  reclosed : bool; (* breaker back to Closed once faults stopped *)
+}
+
+type summary = {
+  scenarios : int;
+  total_events : int;
+  total_fallbacks : int;
+  total_breaker_opens : int;
+  total_uncaught : int;
+  not_reclosed : int;
+  digest : int; (* order-independent combination of scenario digests *)
+}
+
+let mix h v = ((h * 0x100000001b3) + (v land max_int)) land max_int
+
+(* Random per-scenario fault plan: each point is enabled with probability
+   1/2 at a severity between 1% and 40%. *)
+let plan_of rng =
+  List.filter_map
+    (fun p ->
+      if Kml.Rng.bool rng then Some (p, 0.01 +. Kml.Rng.float rng 0.39) else None)
+    Rmt.Fault.all_points
+
+let chaos_prefetch_params =
+  { Prefetch_rmt.default_params with
+    history = 4;
+    window_capacity = 512;
+    retrain_period = 128 }
+
+(* --- flavor 0: prefetch pipeline under fault load ------------------- *)
+
+let run_prefetch rng ~events =
+  let pf = Prefetch_rmt.create ~params:chaos_prefetch_params ~seed:(Kml.Rng.int rng 1_000_000) () in
+  let p = Prefetch_rmt.prefetcher pf in
+  let digest = ref 0 and uncaught = ref 0 and page = ref 0 in
+  let drive e =
+    page := (if Kml.Rng.int rng 10 < 8 then !page + 3 else Kml.Rng.int rng 4096);
+    match
+      p.Ksim.Prefetcher.on_access ~pid:1 ~page:!page ~hit:(Kml.Rng.bool rng) ~now:(e * 1000)
+    with
+    | pages -> List.iter (fun pg -> digest := mix !digest pg) pages
+    | exception _ -> incr uncaught
+  in
+  for e = 1 to events do
+    drive e
+  done;
+  let breaker = Prefetch_rmt.breaker pf in
+  (* Fault-free recovery: the clock advances a full backoff period per
+     event, so an open breaker gets its half-open probes and re-closes. *)
+  let recover e =
+    page := !page + 3;
+    match
+      p.Ksim.Prefetcher.on_access ~pid:1 ~page:!page ~hit:false
+        ~now:((events * 1000) + (e * 2_000_000))
+    with
+    | pages -> List.iter (fun pg -> digest := mix !digest pg) pages
+    | exception _ -> incr uncaught
+  in
+  let fallbacks () = (Prefetch_rmt.stats pf).Prefetch_rmt.fallback_accesses in
+  (breaker, digest, uncaught, recover, fallbacks)
+
+(* --- flavor 1: scheduler migration decisions under fault load ------- *)
+
+let sched_model rng =
+  let n = Ksim.Lb_features.n_features in
+  let ds = Kml.Dataset.create ~n_features:n ~n_classes:2 in
+  for _ = 1 to 64 do
+    let features = Array.init n (fun _ -> Kml.Rng.int rng 1024) in
+    Kml.Dataset.add ds { Kml.Dataset.features; label = (if Kml.Rng.bool rng then 1 else 0) }
+  done;
+  Rmt.Model_store.Tree (Kml.Decision_tree.train ds)
+
+let run_sched rng ~events =
+  let sr = Sched_rmt.create ~model:(sched_model rng) () in
+  let now = ref 0 in
+  Rmt.Control.set_clock (Sched_rmt.control sr) (fun () -> !now);
+  let decide = Sched_rmt.decider sr in
+  let digest = ref 0 and uncaught = ref 0 in
+  let n = Ksim.Lb_features.n_features in
+  let drive e =
+    now := e * 1000;
+    let features = Array.init n (fun _ -> Kml.Rng.int rng 1024) in
+    match decide ~features ~heuristic:(Kml.Rng.bool rng) with
+    | b -> digest := mix !digest (if b then 1 else 0)
+    | exception _ -> incr uncaught
+  in
+  for e = 1 to events do
+    drive e
+  done;
+  let breaker = Sched_rmt.breaker sr in
+  let recover e =
+    now := (events * 1000) + (e * 2_000_000);
+    let features = Array.init n (fun _ -> Kml.Rng.int rng 1024) in
+    match decide ~features ~heuristic:false with
+    | b -> digest := mix !digest (if b then 1 else 0)
+    | exception _ -> incr uncaught
+  in
+  let fallbacks () = (Sched_rmt.stats sr).Sched_rmt.fallback_decisions in
+  (breaker, digest, uncaught, recover, fallbacks)
+
+(* --- flavor 2: control-plane churn (canary installs under faults) --- *)
+
+let build_simple ~bias =
+  let b = Rmt.Builder.create ~name:"chaos_prog" ~vmem_size:1 () in
+  Rmt.Builder.add_capability b (Rmt.Program.Guarded { lo = 0; hi = 1023 });
+  Rmt.Builder.emit b (Rmt.Insn.Ld_ctxt_k (0, Hooks.key_page));
+  Rmt.Builder.emit b (Rmt.Insn.Alu_imm (Rmt.Insn.Add, 0, bias));
+  Rmt.Builder.emit b (Rmt.Insn.Alu_imm (Rmt.Insn.Mod, 0, 1024));
+  Rmt.Builder.emit b Rmt.Insn.Exit;
+  Rmt.Builder.finish b ()
+
+let chaos_hook = "chaos_hook"
+
+let run_churn rng ~events =
+  let control = Rmt.Control.create ~seed:(Kml.Rng.int rng 1_000_000) () in
+  let now = ref 0 in
+  Rmt.Control.set_clock control (fun () -> !now);
+  let vm =
+    match Rmt.Control.install control (build_simple ~bias:1) with
+    | Ok vm -> vm
+    | Error e -> invalid_arg ("Chaos.run_churn: " ^ e)
+  in
+  let table =
+    Rmt.Control.create_table control ~name:"chaos_tab" ~match_keys:[||]
+      ~default:(Rmt.Table.Run vm)
+  in
+  Rmt.Control.attach control ~hook:chaos_hook table;
+  let breaker =
+    Rmt.Control.protect control ~hook:chaos_hook ~programs:[ "chaos_prog" ]
+      ~fallback:(fun ctxt -> Rmt.Ctxt.get ctxt Hooks.key_heuristic)
+      ()
+  in
+  let ctxt = Rmt.Ctxt.create () in
+  let digest = ref 0 and uncaught = ref 0 in
+  let drive e =
+    now := e * 1000;
+    let page = Kml.Rng.int rng 4096 in
+    Rmt.Ctxt.set ctxt Hooks.key_page page;
+    Rmt.Ctxt.set ctxt Hooks.key_heuristic (page land 1);
+    (* Periodic transactional reinstall: half the candidates are
+       identical (promote), half biased (divergent -> rolled back). *)
+    if e mod 64 = 0 then begin
+      let bias = if Kml.Rng.bool rng then 1 else 7 in
+      match Rmt.Control.install_canary control ~invocations:16 ~grace:32 (build_simple ~bias) with
+      | Ok _ -> digest := mix !digest bias
+      | Error _ -> digest := mix !digest (-bias)
+    end;
+    if e mod 97 = 0 then ignore (Rmt.Control.rollback_program control "chaos_prog");
+    match Rmt.Control.fire control ~hook:chaos_hook ~ctxt with
+    | Some v -> digest := mix !digest v
+    | None -> ()
+    | exception _ -> incr uncaught
+  in
+  for e = 1 to events do
+    drive e
+  done;
+  let recover e =
+    now := (events * 1000) + (e * 2_000_000);
+    let page = e land 4095 in
+    Rmt.Ctxt.set ctxt Hooks.key_page page;
+    Rmt.Ctxt.set ctxt Hooks.key_heuristic (page land 1);
+    match Rmt.Control.fire control ~hook:chaos_hook ~ctxt with
+    | Some v -> digest := mix !digest v
+    | None -> ()
+    | exception _ -> incr uncaught
+  in
+  let fallbacks () =
+    Rmt.Pipeline.fallback_served (Rmt.Control.pipeline control) ~hook:chaos_hook
+  in
+  (breaker, digest, uncaught, recover, fallbacks)
+
+(* --- scenario driver ------------------------------------------------ *)
+
+let flavors = [| ("prefetch", run_prefetch); ("sched", run_sched); ("churn", run_churn) |]
+
+let run_scenario ~master ~events index =
+  let rng = Kml.Rng.split master index in
+  let plan = plan_of rng in
+  let flavor_name, runner = flavors.(index mod Array.length flavors) in
+  let plan_seed = Kml.Rng.int rng 0x3fffffff in
+  (* The faulted phase runs under a domain-local plan; creation, the
+     recovery phase and the assertions run fault-free. *)
+  let breaker, digest, uncaught, recover, fallbacks =
+    Rmt.Fault.with_plan ~seed:plan_seed plan (fun () -> runner rng ~events)
+  in
+  let opens_after_faults = Rmt.Breaker.opens breaker in
+  let recovery = ref 0 in
+  while Rmt.Breaker.state breaker <> Rmt.Breaker.Closed && !recovery < 256 do
+    incr recovery;
+    recover !recovery
+  done;
+  (* A few extra fault-free events so half-open probes can finish. *)
+  for e = !recovery + 1 to !recovery + 8 do
+    recover e
+  done;
+  { index;
+    flavor = flavor_name;
+    digest = !digest;
+    events;
+    fallbacks = fallbacks ();
+    breaker_opens = opens_after_faults;
+    uncaught = !uncaught;
+    reclosed = Rmt.Breaker.state breaker = Rmt.Breaker.Closed }
+
+let summarize reports =
+  Array.fold_left
+    (fun acc r ->
+      { scenarios = acc.scenarios + 1;
+        total_events = acc.total_events + r.events;
+        total_fallbacks = acc.total_fallbacks + r.fallbacks;
+        total_breaker_opens = acc.total_breaker_opens + r.breaker_opens;
+        total_uncaught = acc.total_uncaught + r.uncaught;
+        not_reclosed = (acc.not_reclosed + if r.reclosed then 0 else 1);
+        (* xor keeps the combination independent of completion order *)
+        digest = acc.digest lxor mix r.index r.digest })
+    { scenarios = 0;
+      total_events = 0;
+      total_fallbacks = 0;
+      total_breaker_opens = 0;
+      total_uncaught = 0;
+      not_reclosed = 0;
+      digest = 0 }
+    reports
+
+let run ?(seed = 0xc4a05) ?(events = 200) ?pool ~scenarios () =
+  let master = Kml.Rng.create seed in
+  let indices = Array.init scenarios Fun.id in
+  let reports =
+    match pool with
+    | Some pool -> Par.parallel_map_array pool (run_scenario ~master ~events) indices
+    | None -> Array.map (run_scenario ~master ~events) indices
+  in
+  (summarize reports, reports)
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "chaos: %d scenarios, %d events, %d breaker opens, %d not reclosed, %d uncaught, digest %016x"
+    s.scenarios s.total_events s.total_breaker_opens s.not_reclosed s.total_uncaught s.digest

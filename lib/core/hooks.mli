@@ -21,6 +21,12 @@ val all : string list
 val key_pid : int
 val key_page : int
 val key_last_page : int
+
+val key_heuristic : int
+(** The stock kernel heuristic's decision for the current event, written
+    by the host before firing a protected hook so a circuit-breaker
+    fallback can serve it verbatim (DESIGN.md section 12). *)
+
 val key_feature_base : int
 (** Feature block: recent deltas (most recent first) followed by derived
     features; see {!Prefetch_rmt} and {!Sched_rmt} for each block's arity. *)

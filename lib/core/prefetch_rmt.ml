@@ -44,6 +44,9 @@ type t = {
   predict_table : Rmt.Table.t;
   collect_vm : Rmt.Vm.t;
   predict_vm : Rmt.Vm.t;
+  breaker : Rmt.Breaker.t; (* shared by both hooks: they degrade together *)
+  stock : Ksim.Prefetcher.t; (* kernel readahead, served while the breaker is open *)
+  mutable fallback_accesses : int;
   pids : (int, pid_state) Hashtbl.t;
   ring : raw_sample option array;
   mutable ring_head : int;
@@ -70,6 +73,12 @@ type t = {
 let n_features params = params.history + 3
 
 let result_key_base = 64
+
+(* Circuit-breaker fallback markers (DESIGN.md section 12).  The collect
+   program returns a delta clamped to +-4096 and the predict program is
+   Guarded to [0, n_delta_classes), so these values are unambiguous. *)
+let collect_fallback_marker = min_int
+let predict_fallback_marker = -1
 
 (* Data-collection action (installed at lookup_swap_cache): compute the
    access delta, shift the per-process history window held in RMT_CTXT, and
@@ -166,6 +175,21 @@ let create ?(params = default_params) ?(engine = Rmt.Vm.Jit_compiled) ?(seed = 4
   in
   Rmt.Control.attach control ~hook:Hooks.lookup_swap_cache collect_table;
   Rmt.Control.attach control ~hook:Hooks.swap_cluster_readahead predict_table;
+  (* Failsafe wiring (DESIGN.md section 12): both hooks share one breaker
+     — a fault in either stage degrades the whole prefetch pipeline to
+     the stock readahead heuristic. *)
+  let breaker =
+    Rmt.Control.protect control ~hook:Hooks.lookup_swap_cache
+      ~programs:[ "pf_collect" ]
+      ~fallback:(fun _ -> collect_fallback_marker)
+      ()
+  in
+  let (_ : Rmt.Breaker.t) =
+    Rmt.Control.protect control ~hook:Hooks.swap_cluster_readahead ~breaker
+      ~programs:[ "pf_predict" ]
+      ~fallback:(fun _ -> predict_fallback_marker)
+      ()
+  in
   let t =
     { params;
       control;
@@ -173,6 +197,9 @@ let create ?(params = default_params) ?(engine = Rmt.Vm.Jit_compiled) ?(seed = 4
       predict_table;
       collect_vm;
       predict_vm;
+      breaker;
+      stock = Ksim.Readahead.create ();
+      fallback_accesses = 0;
       pids = Hashtbl.create 8;
       ring = Array.make params.window_capacity None;
       ring_head = 0;
@@ -312,7 +339,17 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: rest -> x :: take (n - 1) rest
 
-let on_access t ~pid ~page ~hit:_ ~now =
+(* One access served by the stock heuristic instead of the learned path;
+   the learning state the learned path could not maintain is dropped so it
+   restarts cleanly when the breaker re-closes. *)
+let stock_delegate t st ~pid ~page ~hit ~now =
+  t.fallback_accesses <- t.fallback_accesses + 1;
+  st.predicted_next_page <- None;
+  st.pending <- [];
+  st.seen_first <- false;
+  t.stock.Ksim.Prefetcher.on_access ~pid ~page ~hit ~now
+
+let on_access t ~pid ~page ~hit ~now =
   t.now_ns <- now;
   t.accesses <- t.accesses + 1;
   let st = pid_state t pid in
@@ -345,7 +382,14 @@ let on_access t ~pid ~page ~hit:_ ~now =
       end)
     st.pending;
   (* Data collection through the RMT pipeline. *)
-  ignore (Rmt.Control.fire t.control ~hook:Hooks.lookup_swap_cache ~ctxt:st.ctxt);
+  match Rmt.Control.fire t.control ~hook:Hooks.lookup_swap_cache ~ctxt:st.ctxt with
+  | Some r when r = collect_fallback_marker ->
+    (* Breaker open (or the collect program trapped): the learned path is
+       out of service.  Serve the stock readahead heuristic and drop the
+       per-process learning state it can no longer keep fresh; [seen_first]
+       forces a clean delta-history restart on recovery. *)
+    stock_delegate t st ~pid ~page ~hit ~now
+  | Some _ | None ->
   let features =
     Rmt.Ctxt.get_range st.ctxt ~base:Hooks.key_feature_base ~len:(n_features t.params)
   in
@@ -359,6 +403,7 @@ let on_access t ~pid ~page ~hit:_ ~now =
   else begin
     match Rmt.Control.fire t.control ~hook:Hooks.swap_cluster_readahead ~ctxt:st.ctxt with
     | None -> []
+    | Some r when r = predict_fallback_marker -> stock_delegate t st ~pid ~page ~hit ~now
     | Some _depth_marker ->
       let classes =
         Rmt.Ctxt.get_range st.ctxt ~base:result_key_base ~len:t.current_depth
@@ -382,6 +427,9 @@ let on_access t ~pid ~page ~hit:_ ~now =
 
 let reset t =
   Hashtbl.reset t.pids;
+  Rmt.Breaker.reset t.breaker;
+  t.stock.Ksim.Prefetcher.reset ();
+  t.fallback_accesses <- 0;
   Rmt.Rate_limit.reset t.limiter ~now:0;
   Rmt.Table.clear t.collect_table;
   Rmt.Table.clear t.predict_table;
@@ -424,6 +472,8 @@ type stats = {
   current_depth : int;
   throttled_pages : int;
   ctxt_reads : int;
+  fallback_accesses : int;
+  breaker_trips : int;
 }
 
 let stats t =
@@ -443,6 +493,9 @@ let stats t =
     predictions_correct = t.predictions_correct;
     current_depth = t.current_depth;
     throttled_pages = Rmt.Rate_limit.throttled t.limiter;
-    ctxt_reads }
+    ctxt_reads;
+    fallback_accesses = t.fallback_accesses;
+    breaker_trips = Rmt.Breaker.opens t.breaker }
 
 let tree t = t.tree
+let breaker t = t.breaker

@@ -66,11 +66,19 @@ type stats = {
   current_depth : int;
   throttled_pages : int;     (** prefetches refused by the rate limiter *)
   ctxt_reads : int;          (** monitor-word reads (lean-monitoring metric) *)
+  fallback_accesses : int;   (** accesses served by stock readahead instead *)
+  breaker_trips : int;       (** times the shared circuit breaker opened *)
 }
 
 val stats : t -> stats
 val tree : t -> Kml.Decision_tree.t option
 (** The current model, once at least one retrain has happened. *)
+
+val breaker : t -> Rmt.Breaker.t
+(** The circuit breaker shared by both prefetch hooks (DESIGN.md
+    section 12): while it is open, every access is served by the stock
+    kernel readahead heuristic and the learned path's per-process state
+    is dropped for a clean restart on recovery. *)
 
 (** {2 Program builders}
 

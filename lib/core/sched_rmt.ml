@@ -4,6 +4,7 @@ type t = {
   vm : Rmt.Vm.t;
   ctxt : Rmt.Ctxt.t;
   keep : int array;
+  breaker : Rmt.Breaker.t;
   mutable decisions : int;
 }
 
@@ -62,11 +63,20 @@ let create ?(engine = Rmt.Vm.Jit_compiled) ?keep ~model () =
       ~default:(Rmt.Table.Run vm)
   in
   Rmt.Control.attach control ~hook:Hooks.can_migrate_task table;
-  { control; table; vm; ctxt = Rmt.Ctxt.create (); keep; decisions = 0 }
+  (* Failsafe wiring (DESIGN.md section 12): the fallback is literally the
+     stock CFS [can_migrate_task] decision, which the decider writes into
+     the context under [key_heuristic] before every firing. *)
+  let breaker =
+    Rmt.Control.protect control ~hook:Hooks.can_migrate_task ~programs:[ "lb_migrate" ]
+      ~fallback:(fun ctxt -> Rmt.Ctxt.get ctxt Hooks.key_heuristic)
+      ()
+  in
+  { control; table; vm; ctxt = Rmt.Ctxt.create (); keep; breaker; decisions = 0 }
 
-let decider t ~features ~heuristic:_ =
+let decider t ~features ~heuristic =
   t.decisions <- t.decisions + 1;
   Array.iteri (fun i v -> Rmt.Ctxt.set t.ctxt (Hooks.key_feature_base + i) v) features;
+  Rmt.Ctxt.set t.ctxt Hooks.key_heuristic (if heuristic then 1 else 0);
   match Rmt.Control.fire t.control ~hook:Hooks.can_migrate_task ~ctxt:t.ctxt with
   | Some cls -> cls = 1
   | None -> false
@@ -80,6 +90,8 @@ type stats = {
   model_invocations : int;
   ctxt_reads : int;
   reads_per_decision : float;
+  fallback_decisions : int;
+  breaker_trips : int;
 }
 
 let stats t =
@@ -95,4 +107,10 @@ let stats t =
     ctxt_reads = Rmt.Ctxt.reads t.ctxt;
     reads_per_decision =
       (if t.decisions = 0 then 0.0
-       else float_of_int (Rmt.Ctxt.reads t.ctxt) /. float_of_int t.decisions) }
+       else float_of_int (Rmt.Ctxt.reads t.ctxt) /. float_of_int t.decisions);
+    fallback_decisions =
+      Rmt.Pipeline.fallback_served (Rmt.Control.pipeline t.control)
+        ~hook:Hooks.can_migrate_task;
+    breaker_trips = Rmt.Breaker.opens t.breaker }
+
+let breaker t = t.breaker

@@ -25,11 +25,17 @@ val create :
     verification. *)
 
 val decider : t -> Ksim.Cfs.decider
-(** Feeds the feature vector into the execution context, fires the
-    [can_migrate_task] hook and returns the model's decision. *)
+(** Feeds the feature vector into the execution context — including the
+    stock CFS heuristic's decision under {!Hooks.key_heuristic} — fires
+    the [can_migrate_task] hook and returns the model's decision.  While
+    the hook's circuit breaker is open, the decision {e is} the stock
+    heuristic's, served by the fallback (DESIGN.md section 12). *)
 
 val update_model : t -> Rmt.Model_store.model -> (unit, string) result
 val control : t -> Rmt.Control.t
+
+val breaker : t -> Rmt.Breaker.t
+(** The [can_migrate_task] circuit breaker. *)
 
 type stats = {
   decisions : int;
@@ -37,6 +43,8 @@ type stats = {
   model_invocations : int;
   ctxt_reads : int;     (** monitor words read by the RMT program *)
   reads_per_decision : float;
+  fallback_decisions : int; (** decisions served by the stock heuristic *)
+  breaker_trips : int;      (** times the breaker opened *)
 }
 
 val stats : t -> stats

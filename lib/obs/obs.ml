@@ -378,6 +378,16 @@ module Snapshot = struct
   let by_name (a, _, _) (b, _, _) = compare a b
   let by_name_h (a, _) (b, _) = compare a b
 
+  let starts_with ~prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+
+  let filter t ~prefixes =
+    let keep name = List.exists (fun prefix -> starts_with ~prefix name) prefixes in
+    { t with
+      scalars = Array.of_seq (Seq.filter (fun (n, _, _) -> keep n) (Array.to_seq t.scalars));
+      histos = Array.of_seq (Seq.filter (fun (n, _) -> keep n) (Array.to_seq t.histos)) }
+
   let diff ~before ~after =
     let scalars =
       Array.map

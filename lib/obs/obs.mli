@@ -193,6 +193,11 @@ module Snapshot : sig
       bucket.  Names only present in [after] pass through unchanged;
       names only present in [before] are dropped. *)
 
+  val filter : t -> prefixes:string list -> t
+  (** Keep only the scalars and histograms whose name starts with one of
+      [prefixes] (e.g. [["rmt.breaker."; "rmt.fault."]] for the CI
+      fault-injection artifact); trace totals pass through. *)
+
   val to_text : t -> string
   (** Human-readable listing (what [rkdctl stats] prints by default). *)
 

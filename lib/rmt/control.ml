@@ -11,13 +11,26 @@ type t = {
   limits : Verifier.limits;
   rng : Kml.Rng.t;
   mutable installs : int; (* indexes per-install Rng substreams *)
+  retries : (string, retry) Hashtbl.t; (* update_model_checked backoff, per model *)
 }
+
+(* Retry-with-backoff state for {!update_model_checked}: consecutive
+   probe failures and the earliest clock at which the next attempt is
+   admitted. *)
+and retry = { mutable failures : int; mutable next_allowed : int }
 
 (* Control-plane activity totals (DESIGN.md section 11). *)
 let c_installs = Obs.Counter.make "rmt.control.installs"
 let c_install_rejected = Obs.Counter.make "rmt.control.install_rejected"
 let c_model_updates = Obs.Counter.make "rmt.control.model_updates"
 let c_fires = Obs.Counter.make "rmt.control.fires"
+
+(* Model-update failsafe totals (DESIGN.md section 12). *)
+let c_update_rollbacks = Obs.Counter.make "rmt.control.model_update_rollbacks"
+let c_update_deferred = Obs.Counter.make "rmt.control.model_update_deferred"
+
+let update_backoff_base_ns = 1_000_000 (* 1 ms *)
+let update_backoff_max_ns = 1_000_000_000 (* 1 s *)
 
 (* Folds a program's pre-existing per-VM counters (invocations, steps,
    throttled units, guardrail violations) into registry views through the
@@ -44,12 +57,21 @@ let create ?(engine = Vm.Jit_compiled) ?(limits = Verifier.default_limits) ?(see
     default_engine = engine;
     limits;
     rng = Kml.Rng.create seed;
-    installs = 0 }
+    installs = 0;
+    retries = Hashtbl.create 8 }
 
 let helpers t = t.helpers
 let models t = t.store
 let pipeline t = t.pipeline
-let set_clock t clock = t.clock <- clock
+
+(* Fault seam: clock skew perturbs every timestamp the datapath sees —
+   rate limiters, breakers and backoff schedules must tolerate a clock
+   that jumps forward or steps slightly backward (DESIGN.md section 12). *)
+let set_clock t clock =
+  t.clock <-
+    (fun () ->
+      let n = clock () in
+      if Fault.active () && Fault.fire Fault.Clock_skew then n + Fault.skew () else n)
 let now t = t.clock ()
 let register_model t ~name model = Model_store.register t.store ~name model
 
@@ -63,9 +85,11 @@ let update_model t ~name model =
        Ok ()
      | exception Invalid_argument msg -> Error msg)
 
-let install t ?engine ?(budget = Kml.Model_cost.default_budget) ?(model_names = [])
-    (prog : Program.t) =
-  let engine = Option.value engine ~default:t.default_engine in
+(* Verify, link and return a Loaded instance without touching the program
+   registry: the shared front half of {!install} (which wraps the result
+   in a fresh Vm) and {!install_canary} (which stages it as the candidate
+   slot of an already-running Vm). *)
+let prepare t ?(budget = Kml.Model_cost.default_budget) ?(model_names = []) (prog : Program.t) =
   let n_slots = Array.length prog.model_arity in
   if List.length model_names <> n_slots then
     Error
@@ -105,16 +129,127 @@ let install t ?engine ?(budget = Kml.Model_cost.default_budget) ?(model_names = 
             Loaded.link ~rng ~proofs:report.Verifier.proof ~store:t.store ~helpers:t.helpers
               ~maps ~models:handles prog
           with
-          | loaded ->
-            let vm = Vm.create ~engine loaded in
-            if not (Hashtbl.mem t.programs prog.name) then
-              t.program_order <- t.program_order @ [ prog.name ];
-            Hashtbl.replace t.programs prog.name vm;
-            Obs.Counter.incr c_installs;
-            register_program_views prog.name vm;
-            Ok vm
+          | loaded -> Ok loaded
           | exception Invalid_argument msg -> Error msg))
   end
+
+let retry_for t name =
+  match Hashtbl.find_opt t.retries name with
+  | Some r -> r
+  | None ->
+    let r = { failures = 0; next_allowed = min_int } in
+    Hashtbl.replace t.retries name r;
+    r
+
+(* Transactional model update (DESIGN.md section 12): swap the retrained
+   model in, probe it against [samples], and roll the incumbent back if
+   any probe escapes or lands outside [lo, hi].  Failures arm an
+   exponential backoff gated on the simulated clock, so a crash-looping
+   trainer cannot hot-swap garbage at line rate. *)
+let update_model_checked t ~name ?(samples = []) ?lo ?hi model =
+  let r = retry_for t name in
+  let now = t.clock () in
+  if now < r.next_allowed then begin
+    Obs.Counter.incr c_update_deferred;
+    Error
+      (Printf.sprintf "update_model %s: backing off after %d failed updates (retry in %dns)"
+         name r.failures (r.next_allowed - now))
+  end
+  else
+    match Model_store.find t.store name with
+    | None -> Error (Printf.sprintf "update_model: no model named %s" name)
+    | Some handle ->
+      let incumbent = Model_store.model t.store handle in
+      let fail msg =
+        (* Roll back before arming the backoff: the datapath keeps
+           serving the incumbent model throughout. *)
+        Model_store.replace t.store handle incumbent;
+        r.failures <- r.failures + 1;
+        let backoff =
+          Stdlib.min update_backoff_max_ns
+            (update_backoff_base_ns * (1 lsl Stdlib.min 30 (r.failures - 1)))
+        in
+        r.next_allowed <- now + backoff;
+        Obs.Counter.incr c_update_rollbacks;
+        Error msg
+      in
+      (match Model_store.replace t.store handle model with
+       | exception Invalid_argument msg ->
+         r.failures <- r.failures + 1;
+         r.next_allowed <- now + update_backoff_base_ns * (1 lsl Stdlib.min 30 (r.failures - 1));
+         Error msg
+       | () ->
+         let rec probe = function
+           | [] ->
+             r.failures <- 0;
+             r.next_allowed <- min_int;
+             Obs.Counter.incr c_model_updates;
+             Ok ()
+           | features :: rest ->
+             (* Probes must see the model itself, not the fault
+                injector's perturbations of it. *)
+             (match Fault.without (fun () -> Model_store.predict t.store handle features) with
+              | v ->
+                let low_ok = match lo with Some l -> v >= l | None -> true in
+                let high_ok = match hi with Some h -> v <= h | None -> true in
+                if low_ok && high_ok then probe rest
+                else
+                  fail
+                    (Printf.sprintf "update_model %s: probe predicted %d outside guard range"
+                       name v)
+              | exception exn ->
+                fail
+                  (Printf.sprintf "update_model %s: probe raised %s" name
+                     (Printexc.to_string exn)))
+         in
+         probe samples)
+
+let protect t ~hook ?config ?breaker ?programs ~fallback () =
+  let vms =
+    match programs with
+    | None -> [||]
+    | Some names ->
+      Array.of_list
+        (List.filter_map (fun name -> Hashtbl.find_opt t.programs name) names)
+  in
+  Pipeline.protect t.pipeline ~hook ?config ?breaker ~vms ~fallback ()
+
+let install t ?engine ?budget ?model_names (prog : Program.t) =
+  let engine = Option.value engine ~default:t.default_engine in
+  match prepare t ?budget ?model_names prog with
+  | Error _ as e -> e
+  | Ok loaded ->
+    let vm = Vm.create ~engine loaded in
+    if not (Hashtbl.mem t.programs prog.name) then
+      t.program_order <- t.program_order @ [ prog.name ];
+    Hashtbl.replace t.programs prog.name vm;
+    Obs.Counter.incr c_installs;
+    register_program_views prog.name vm;
+    Ok vm
+
+let install_canary t ?engine ?budget ?model_names ?invocations ?max_divergences ?grace
+    (prog : Program.t) =
+  match Hashtbl.find_opt t.programs prog.name with
+  | None ->
+    (* Nothing to canary against: a first install is immediate. *)
+    install t ?engine ?budget ?model_names prog
+  | Some vm ->
+    (match prepare t ?budget ?model_names prog with
+     | Error _ as e -> e
+     | Ok loaded ->
+       Vm.stage_canary vm ?invocations ?max_divergences ?grace loaded;
+       Obs.Counter.incr c_installs;
+       Ok vm)
+
+let canary_status t name =
+  match Hashtbl.find_opt t.programs name with
+  | None -> None
+  | Some vm -> Some (Vm.canary_status vm)
+
+let rollback_program t name =
+  match Hashtbl.find_opt t.programs name with
+  | None -> false
+  | Some vm -> Vm.cancel_canary vm || Vm.rollback vm
 
 let install_asm t ?engine ?budget ?model_names source =
   match Asm.parse ~helpers:t.helpers source with

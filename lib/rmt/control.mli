@@ -30,6 +30,21 @@ val update_model : t -> name:string -> Model_store.model -> (unit, string) resul
 (** Swap a retrained model into its slot; programs referencing the slot pick
     it up on their next invocation (no reinstall). *)
 
+val update_model_checked :
+  t ->
+  name:string ->
+  ?samples:int array list ->
+  ?lo:int ->
+  ?hi:int ->
+  Model_store.model ->
+  (unit, string) result
+(** Transactional {!update_model}: after the swap, every feature vector in
+    [samples] is probed through the new model; a probe that raises or
+    predicts outside [lo, hi] rolls the incumbent model back and the call
+    fails.  Consecutive failures arm an exponential backoff (1ms doubling
+    to 1s of simulated clock) during which further updates of this name
+    are refused outright (DESIGN.md section 12). *)
+
 (** {2 Programs} *)
 
 val install :
@@ -62,6 +77,32 @@ val install_bytes :
 (** The wire-format install syscall: decode ({!Encoding}), then verify and
     link exactly as {!install}. *)
 
+val install_canary :
+  t ->
+  ?engine:Vm.engine ->
+  ?budget:Kml.Model_cost.budget ->
+  ?model_names:string list ->
+  ?invocations:int ->
+  ?max_divergences:int ->
+  ?grace:int ->
+  Program.t ->
+  (Vm.t, string) result
+(** Transactional install (DESIGN.md section 12): verify and link exactly
+    as {!install}, but when a program of the same name is already running,
+    stage the new build as a canary on the incumbent's Vm
+    ({!Vm.stage_canary}) instead of replacing it outright — it shadows
+    live traffic and is promoted only if it stays within the divergence
+    budget.  A first install (no incumbent) is immediate.  The returned
+    Vm is the {e incumbent's}; observe the transaction with
+    {!canary_status} and abort it with {!rollback_program}. *)
+
+val canary_status : t -> string -> [ `Idle | `Canary of int * int | `Grace of int ] option
+(** [None] for an unknown program; see {!Vm.canary_status}. *)
+
+val rollback_program : t -> string -> bool
+(** Abort an in-flight canary, or undo a promotion whose grace window is
+    still open.  [false] when there is nothing to roll back. *)
+
 val find_program : t -> string -> Vm.t option
 val remove_program : t -> string -> bool
 val bind_tail_call : t -> caller:string -> slot:int -> callee:string -> (unit, string) result
@@ -72,6 +113,19 @@ val create_table : t -> name:string -> match_keys:int array -> default:Table.act
 val find_table : t -> string -> Table.t option
 val attach : t -> hook:string -> Table.t -> unit
 val fire : t -> hook:string -> ctxt:Ctxt.t -> int option
+
+val protect :
+  t ->
+  hook:string ->
+  ?config:Breaker.config ->
+  ?breaker:Breaker.t ->
+  ?programs:string list ->
+  fallback:(Ctxt.t -> int) ->
+  unit ->
+  Breaker.t
+(** {!Pipeline.protect} with [vms] resolved from installed program names
+    (unknown names are skipped): arm [hook] with a circuit breaker that
+    serves [fallback] while open. *)
 
 (** {2 Introspection} *)
 

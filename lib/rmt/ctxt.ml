@@ -158,6 +158,17 @@ let reset_reads t = t.reads <- 0
 let watch ~name t =
   Obs.Registry.register_view ("rmt.ctxt." ^ name ^ ".reads") (fun () -> reads t)
 
+(* Independent deep copy; used by the canary shadow path so a candidate
+   program's writes cannot leak into the live execution context. *)
+let copy t =
+  { dense = Array.copy t.dense;
+    dense_present = Bytes.copy t.dense_present;
+    keys = Array.copy t.keys;
+    vals = Array.copy t.vals;
+    live = t.live;
+    used = t.used;
+    reads = t.reads }
+
 let of_list bindings =
   let t = create () in
   List.iter (fun (k, v) -> set t k v) bindings;

@@ -55,6 +55,10 @@ val watch : name:string -> t -> unit
     move), so [rkdctl stats] reports it next to the striped counters.
     Re-watching a name rebinds the view to the new context. *)
 
+val copy : t -> t
+(** Deep copy: the clone shares no mutable state with the original.  Used
+    to give canary shadow runs a scratch context (DESIGN.md section 12). *)
+
 val of_list : (int * int) list -> t
 val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
 (** Folds over all live bindings in unspecified order. *)

@@ -229,6 +229,16 @@ let encode (prog : Program.t) =
   Buffer.to_bytes buf
 
 let decode data =
+  (* Fault seam: wire corruption in flight (DESIGN.md section 12).  The
+     image is copied before flipping so callers' buffers stay intact. *)
+  let data =
+    if Fault.active () && Fault.fire Fault.Encoding_bitflip then begin
+      let corrupted = Bytes.copy data in
+      Fault.corrupt corrupted;
+      corrupted
+    end
+    else data
+  in
   try
     let r = { data; pos = 0 } in
     let m = Bytes.create 4 in
@@ -285,6 +295,10 @@ let decode data =
   with
   | Malformed msg -> Error msg
   | Invalid_argument msg -> Error msg
+  (* Defence-in-depth: no decode path is known to raise [Failure], but a
+     corrupted image must never escape as an exception (decode-fuzz
+     audited; see Fuzz.decode_fuzz). *)
+  | Failure msg -> Error msg
 
 let decode_exn data =
   match decode data with Ok p -> p | Error e -> failwith ("Encoding.decode: " ^ e)

@@ -370,6 +370,10 @@ let dump_map m =
       (List.sort compare (Map_store.fold (fun k v acc -> (k, v) :: acc) m []))
 
 let run ?(seed = 0x50FA) ~trials () =
+ (* Ambient fault injection (RKD_FAULTS) would make the three executions
+    draw different fault schedules and disagree spuriously; the
+    differential only means something on the stock semantics. *)
+ Fault.without @@ fun () ->
   let master = Kml.Rng.create seed in
   let helpers = Helper.with_defaults () in
   let accepted = ref 0 and rejected = ref 0 and claims = ref 0 in
@@ -443,3 +447,71 @@ let run ?(seed = 0x50FA) ~trials () =
           report.Verifier.worst_case_steps trial
   done;
   { trials; accepted = !accepted; rejected = !rejected; claims_checked = !claims }
+
+(* ------------------------------------------------------------------ *)
+(* Wire-format robustness fuzzer.                                      *)
+(* ------------------------------------------------------------------ *)
+
+type decode_stats = {
+  d_trials : int;
+  mutations : int;
+  decoded_ok : int;    (** mutated images that still decoded *)
+  decoded_error : int; (** mutated images rejected with [Error] *)
+  roundtrips : int;
+}
+
+let pp_decode_stats fmt s =
+  Format.fprintf fmt
+    "%d programs, %d mutated images: %d decoded, %d rejected, %d exact roundtrips" s.d_trials
+    s.mutations s.decoded_ok s.decoded_error s.roundtrips
+
+(* Every generated program must roundtrip exactly through the wire format,
+   and every mutation of its image — bit flips, truncations, random
+   suffixes — must come back as [Ok]/[Error], never as an exception.  This
+   is the containment audit behind `rkdctl decode-fuzz` (ISSUE 5). *)
+let decode_fuzz ?(seed = 0xdec0de) ~trials () =
+ Fault.without @@ fun () ->
+  let master = Kml.Rng.create seed in
+  let mutations = ref 0 and ok = ref 0 and err = ref 0 and roundtrips = ref 0 in
+  for trial = 0 to trials - 1 do
+    let rng = Kml.Rng.split master trial in
+    let prog = gen_program rng in
+    let image = Encoding.encode prog in
+    (match Encoding.decode image with
+     | Ok prog' ->
+       if Encoding.encode prog' <> image then
+         fail_prog prog "decode/encode roundtrip not exact (trial %d)" trial;
+       incr roundtrips
+     | Error e -> fail_prog prog "pristine image failed to decode: %s (trial %d)" e trial);
+    let len = Bytes.length image in
+    for m = 0 to 7 do
+      let mutated = Bytes.copy image in
+      let mutated =
+        match Kml.Rng.int rng 4 with
+        | 0 | 1 ->
+          (* flip 1-8 random bits *)
+          for _ = 0 to Kml.Rng.int rng 8 do
+            let bit = Kml.Rng.int rng (len * 8) in
+            let i = bit / 8 and b = bit land 7 in
+            Bytes.set mutated i (Char.chr (Char.code (Bytes.get mutated i) lxor (1 lsl b)))
+          done;
+          mutated
+        | 2 -> Bytes.sub mutated 0 (Kml.Rng.int rng (len + 1)) (* truncate *)
+        | _ ->
+          let extra = Bytes.init (1 + Kml.Rng.int rng 16) (fun _ -> Char.chr (Kml.Rng.int rng 256)) in
+          Bytes.cat mutated extra (* trailing garbage *)
+      in
+      incr mutations;
+      match Encoding.decode mutated with
+      | Ok _ -> incr ok
+      | Error _ -> incr err
+      | exception e ->
+        fail_prog prog "decode raised %s on mutated image (trial %d, mutation %d)"
+          (Printexc.to_string e) trial m
+    done
+  done;
+  { d_trials = trials;
+    mutations = !mutations;
+    decoded_ok = !ok;
+    decoded_error = !err;
+    roundtrips = !roundtrips }

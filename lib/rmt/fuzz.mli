@@ -33,6 +33,26 @@ exception Unsound of string
     the message. *)
 
 val run : ?seed:int -> trials:int -> unit -> stats
-(** Raises {!Unsound} on the first soundness violation. *)
+(** Raises {!Unsound} on the first soundness violation.  Fault injection
+    is suppressed for the duration ({!Fault.without}): the differential is
+    only meaningful on the stock semantics. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Wire-format robustness} *)
+
+type decode_stats = {
+  d_trials : int;
+  mutations : int;
+  decoded_ok : int;    (** mutated images that still decoded *)
+  decoded_error : int; (** mutated images rejected with [Error] *)
+  roundtrips : int;
+}
+
+val decode_fuzz : ?seed:int -> trials:int -> unit -> decode_stats
+(** Seeded bit-flip/truncation/extension fuzzer for {!Encoding.decode}
+    (driven by [rkdctl decode-fuzz]): every pristine image must roundtrip
+    exactly, and every mutated image must decode to [Ok] or [Error] —
+    an escaping exception raises {!Unsound}. *)
+
+val pp_decode_stats : Format.formatter -> decode_stats -> unit

@@ -1,4 +1,14 @@
-type t = { lo : int; hi : int; mutable violations : int }
+type t = {
+  lo : int;
+  hi : int;
+  window : int;
+  mutable violations : int;
+  (* Rolling window: counts reset every [window] applications, with the
+     completed window's rate kept for fresh-window reads. *)
+  mutable w_seen : int;
+  mutable w_viol : int;
+  mutable last_rate : float;
+}
 
 (* Process-wide violation total (DESIGN.md section 11): the per-instance
    [violations] accessor is unchanged; the striped counter folds every
@@ -6,19 +16,36 @@ type t = { lo : int; hi : int; mutable violations : int }
    clamping paths. *)
 let c_violations = Obs.Counter.make "rmt.guardrail.violations"
 
-let create ~lo ~hi =
+let default_window = 256
+
+let create_windowed ~window ~lo ~hi =
   if lo > hi then invalid_arg "Guardrail.create: lo > hi";
-  { lo; hi; violations = 0 }
+  if window <= 0 then invalid_arg "Guardrail.create: window must be positive";
+  { lo; hi; window; violations = 0; w_seen = 0; w_viol = 0; last_rate = 0.0 }
+
+let create ~lo ~hi = create_windowed ~window:default_window ~lo ~hi
+
+let roll t =
+  t.w_seen <- t.w_seen + 1;
+  if t.w_seen >= t.window then begin
+    t.last_rate <- float_of_int t.w_viol /. float_of_int t.w_seen;
+    t.w_seen <- 0;
+    t.w_viol <- 0
+  end
+
+let violate t =
+  t.violations <- t.violations + 1;
+  t.w_viol <- t.w_viol + 1;
+  Obs.Counter.incr c_violations
 
 let apply t v =
+  roll t;
   if v < t.lo then begin
-    t.violations <- t.violations + 1;
-    Obs.Counter.incr c_violations;
+    violate t;
     t.lo
   end
   else if v > t.hi then begin
-    t.violations <- t.violations + 1;
-    Obs.Counter.incr c_violations;
+    violate t;
     t.hi
   end
   else v
@@ -26,3 +53,17 @@ let apply t v =
 let violations t = t.violations
 let lo t = t.lo
 let hi t = t.hi
+let window t = t.window
+
+(* Freshness over completeness: once the current window has enough
+   observations to be meaningful it speaks for itself; before that the
+   last completed window's rate stands in.  A violation storm therefore
+   registers within ~8 applications, not a full window. *)
+let violation_rate t =
+  if t.w_seen >= 8 then float_of_int t.w_viol /. float_of_int t.w_seen else t.last_rate
+
+let reset t =
+  t.violations <- 0;
+  t.w_seen <- 0;
+  t.w_viol <- 0;
+  t.last_rate <- 0.0

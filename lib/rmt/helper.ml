@@ -47,7 +47,9 @@ let invoke t id env args =
   check t id "invoke";
   let e = t.entries.(id) in
   if Array.length args <> e.arity then invalid_arg "Helper.invoke: arity mismatch";
-  e.fn env args
+  let r = e.fn env args in
+  (* Fault seam: a misbehaving kernel helper (DESIGN.md section 12). *)
+  if Fault.active () && Fault.fire Fault.Helper_fail then Fault.garbage () else r
 
 let count t = t.len
 

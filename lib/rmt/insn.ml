@@ -53,8 +53,13 @@ let eval_alu op a b =
   | Add -> a + b
   | Sub -> a - b
   | Mul -> a * b
-  | Div -> if b = 0 then 0 else a / b
-  | Mod -> if b = 0 then 0 else a mod b
+  (* Fully defined division: besides the b = 0 case, the min_int / -1
+     corner is pinned to the wrapped quotient (min_int) and remainder 0.
+     Native [/] traps (SIGFPE) on that operand pair on x86-64, so the
+     guard is a real portability requirement, and it keeps the concrete
+     semantics aligned with Absint's transfer functions. *)
+  | Div -> if b = 0 then 0 else if b = -1 && a = min_int then min_int else a / b
+  | Mod -> if b = 0 || b = -1 then 0 else a mod b
   | And -> a land b
   | Or -> a lor b
   | Xor -> a lxor b

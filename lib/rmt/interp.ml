@@ -1,5 +1,27 @@
 exception Fuel_exhausted
 
+(* Runtime traps, normalized at the Vm.invoke boundary (DESIGN.md section
+   12): every exception an engine can raise at runtime — fuel exhaustion,
+   an out-of-bounds access in an unverified hand-linked program, a
+   division trap, an injected fault, or a foreign failure out of a
+   helper/model — is converted to [Trap] so callers above Vm see exactly
+   one exception type (or a [result], via [Vm.invoke_checked]). *)
+type trap =
+  | Trap_fuel
+  | Trap_bounds of string
+  | Trap_div
+  | Trap_injected
+  | Trap_foreign of string
+
+exception Trap of trap
+
+let trap_message = function
+  | Trap_fuel -> "step budget exhausted"
+  | Trap_bounds msg -> "out-of-bounds access: " ^ msg
+  | Trap_div -> "division trap"
+  | Trap_injected -> "injected fault"
+  | Trap_foreign msg -> "foreign failure: " ^ msg
+
 type outcome = { result : int; steps : int; privacy_denied : int }
 
 (* Engine totals, bumped once per invocation (never per step) so the
@@ -60,6 +82,7 @@ let run ?fuel (loaded : Loaded.t) ~ctxt ~now =
     | Some f -> f
     | None -> Verifier.default_limits.Verifier.max_steps * (max_tail_depth + 1)
   in
+  if Fault.active () && Fault.fire Fault.Engine_trap then raise (Trap Trap_injected);
   let st = { regs = Array.make Insn.n_registers 0; fuel; steps = 0; denied = 0 } in
   let rec run_program (loaded : Loaded.t) depth =
     let env = loaded.env in

@@ -10,6 +10,21 @@
 
 exception Fuel_exhausted
 
+(** Runtime trap classes (DESIGN.md section 12).  Engines raise
+    [Trap Trap_injected] directly under fault injection; everything else
+    is normalized from raw exceptions at the {!Vm.invoke} boundary, so
+    code above Vm never sees an engine exception other than [Trap]. *)
+type trap =
+  | Trap_fuel            (** step budget exhausted (defence-in-depth) *)
+  | Trap_bounds of string  (** OOB vmem/array access in an unverified program *)
+  | Trap_div             (** hardware-level division trap *)
+  | Trap_injected        (** deterministic fault injection ({!Fault}) *)
+  | Trap_foreign of string  (** failure escaping a helper or model *)
+
+exception Trap of trap
+
+val trap_message : trap -> string
+
 type outcome = {
   result : int;          (** r0 at [Exit], post-guardrail *)
   steps : int;           (** dynamic instructions executed (incl. tail-callees) *)

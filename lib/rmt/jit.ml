@@ -510,6 +510,8 @@ let rec exec_unit t (u : unit_code) depth =
   else 0 (* fell off the end: impossible for verified programs *)
 
 let exec t ~ctxt ~now =
+  if Fault.active () && Fault.fire Fault.Engine_trap then
+    raise (Interp.Trap Interp.Trap_injected);
   let st = t.st in
   st.ctxt <- ctxt;
   st.now <- now;

@@ -65,11 +65,20 @@ let predict t h features =
   if Array.length features <> n_features slot.model then
     invalid_arg "Model_store.predict: feature arity mismatch";
   slot.invocations <- slot.invocations + 1;
-  match slot.model with
-  | Tree tree -> Kml.Decision_tree.predict tree features
-  | Qmlp q -> Kml.Quantize.Qmlp.predict q features
-  | Svm svm -> Kml.Linear.Svm.predict svm features
-  | Fn { f; _ } -> f features
+  let r =
+    match slot.model with
+    | Tree tree -> Kml.Decision_tree.predict tree features
+    | Qmlp q -> Kml.Quantize.Qmlp.predict q features
+    | Svm svm -> Kml.Linear.Svm.predict svm features
+    | Fn { f; _ } -> f features
+  in
+  (* Fault seam: a pathological model returning extreme or garbage
+     outputs (DESIGN.md section 12).  One flag load when disabled. *)
+  if Fault.active () then
+    if Fault.fire Fault.Model_extreme then Fault.extreme ()
+    else if Fault.fire Fault.Model_garbage then Fault.garbage ()
+    else r
+  else r
 
 let invocations t h =
   check t h "invocations";

@@ -1,7 +1,25 @@
+(* Per-hook failsafe (DESIGN.md section 12): a circuit breaker guarding
+   the learned tables, plus the stock-heuristic fallback served while the
+   breaker is open.  [vms] are the hook's learned programs, polled after
+   each successful dispatch for guardrail storms and rate-limit
+   saturation; on a breaker trip they are rolled back to their
+   pre-promotion incumbents if a canary grace window is still open. *)
+type protection = {
+  breaker : Breaker.t;
+  fallback : Ctxt.t -> int;
+  guard_vms : Vm.t array;
+  guardrail_rate : float; (* windowed violation rate that counts as failure *)
+  saturation_streak : int; (* consecutive throttled firings that count as failure *)
+  mutable fallback_served : int;
+  mutable last_throttled : int; (* sum of vm throttled_units at last firing *)
+  mutable throttle_streak : int;
+}
+
 type hook_state = {
   mutable tables : Table.t list;
   mutable firings : int;
   hook_id : int; (* interned once; trace events carry this id *)
+  mutable protection : protection option;
 }
 
 type t = {
@@ -15,7 +33,7 @@ let state t hook =
   match Hashtbl.find_opt t.hooks hook with
   | Some s -> s
   | None ->
-    let s = { tables = []; firings = 0; hook_id = Obs.intern hook } in
+    let s = { tables = []; firings = 0; hook_id = Obs.intern hook; protection = None } in
     Hashtbl.replace t.hooks hook s;
     t.order <- t.order @ [ hook ];
     s
@@ -40,6 +58,93 @@ let hooks t = List.filter (fun h -> tables_at t ~hook:h <> []) t.order
 (* Hook dispatch totals; the ambient hook id lets VM-level trace events
    attribute themselves to the hook whose table dispatched them. *)
 let c_firings = Obs.Counter.make "rmt.pipeline.firings"
+let c_fallback = Obs.Counter.make "rmt.pipeline.fallback_served"
+let c_trap_fallback = Obs.Counter.make "rmt.pipeline.trap_fallbacks"
+
+let protect t ~hook ?config ?breaker ?(vms = [||]) ~fallback () =
+  let s = state t hook in
+  let breaker =
+    match breaker with Some b -> b | None -> Breaker.create ?config hook
+  in
+  let cfg = Breaker.config breaker in
+  s.protection <-
+    Some
+      { breaker;
+        fallback;
+        guard_vms = vms;
+        guardrail_rate = cfg.Breaker.guardrail_rate;
+        saturation_streak = cfg.Breaker.saturation_streak;
+        fallback_served = 0;
+        last_throttled = 0;
+        throttle_streak = 0 };
+  Obs.Registry.register_view
+    (Printf.sprintf "rmt.breaker.%s.state" hook)
+    (fun () -> Breaker.state_code (Breaker.state breaker));
+  Obs.Registry.register_view
+    (Printf.sprintf "rmt.breaker.%s.fallback_served" hook)
+    (fun () -> match s.protection with Some p -> p.fallback_served | None -> 0);
+  breaker
+
+let breaker t ~hook =
+  match Hashtbl.find_opt t.hooks hook with
+  | Some { protection = Some p; _ } -> Some p.breaker
+  | Some { protection = None; _ } | None -> None
+
+let fallback_served t ~hook =
+  match Hashtbl.find_opt t.hooks hook with
+  | Some { protection = Some p; _ } -> p.fallback_served
+  | Some { protection = None; _ } | None -> 0
+
+let serve_fallback p ~ctxt =
+  p.fallback_served <- p.fallback_served + 1;
+  Obs.Counter.incr c_fallback;
+  [ p.fallback ctxt ]
+
+let sum_throttled vms =
+  Array.fold_left (fun acc vm -> acc + Vm.throttled_units vm) 0 vms
+
+(* Post-dispatch health monitors: a guardrail-violation storm on any of
+   the hook's programs, or sustained rate-limiter saturation, count as
+   breaker failures even though each individual firing "succeeded". *)
+let observe_health p ~now_ns =
+  let degraded = ref false in
+  Array.iter
+    (fun vm -> if Vm.guardrail_violation_rate vm >= p.guardrail_rate then degraded := true)
+    p.guard_vms;
+  let throttled = sum_throttled p.guard_vms in
+  if throttled > p.last_throttled then p.throttle_streak <- p.throttle_streak + 1
+  else p.throttle_streak <- 0;
+  p.last_throttled <- throttled;
+  if p.throttle_streak >= p.saturation_streak then begin
+    degraded := true;
+    p.throttle_streak <- 0
+  end;
+  if !degraded then Breaker.record_failure p.breaker ~now:now_ns
+  else Breaker.record_success p.breaker ~now:now_ns
+
+let dispatch s ~ctxt ~now =
+  if Obs.enabled () then Obs.Trace.set_current_hook s.hook_id;
+  let results = List.map (fun table -> Table.lookup table ~ctxt ~now) s.tables in
+  if Obs.enabled () then Obs.Trace.set_current_hook (-1);
+  results
+
+let fire_protected s p ~ctxt ~now =
+  let now_ns = now () in
+  if not (Breaker.allow p.breaker ~now:now_ns) then serve_fallback p ~ctxt
+  else
+    match dispatch s ~ctxt ~now with
+    | results ->
+      observe_health p ~now_ns;
+      results
+    | exception Interp.Trap _ ->
+      (* Contained engine fault: fail the breaker, roll any program still
+         in a canary grace window back to its incumbent, and serve the
+         stock heuristic for this event. *)
+      if Obs.enabled () then Obs.Trace.set_current_hook (-1);
+      Obs.Counter.incr c_trap_fallback;
+      Breaker.record_failure p.breaker ~now:now_ns;
+      Array.iter (fun vm -> ignore (Vm.rollback vm)) p.guard_vms;
+      serve_fallback p ~ctxt
 
 let fire_all t ~hook ~ctxt ~now =
   match Hashtbl.find_opt t.hooks hook with
@@ -49,10 +154,9 @@ let fire_all t ~hook ~ctxt ~now =
       s.firings <- s.firings + 1;
       Obs.Counter.incr c_firings
     end;
-    if Obs.enabled () then Obs.Trace.set_current_hook s.hook_id;
-    let results = List.map (fun table -> Table.lookup table ~ctxt ~now) s.tables in
-    if Obs.enabled () then Obs.Trace.set_current_hook (-1);
-    results
+    (match s.protection with
+     | Some p when s.tables <> [] -> fire_protected s p ~ctxt ~now
+     | Some _ | None -> dispatch s ~ctxt ~now)
 
 let fire t ~hook ~ctxt ~now =
   match List.rev (fire_all t ~hook ~ctxt ~now) with
@@ -66,5 +170,15 @@ let pp fmt t =
   List.iter
     (fun hook ->
       Format.fprintf fmt "hook %s (%d firings):@." hook (firings t ~hook);
+      (match Hashtbl.find_opt t.hooks hook with
+       | Some { protection = Some p; _ } ->
+         Format.fprintf fmt "  breaker %s: %s, %d fallback served@."
+           (Breaker.name p.breaker)
+           (match Breaker.state p.breaker with
+            | Breaker.Closed -> "closed"
+            | Breaker.Open -> "open"
+            | Breaker.Half_open -> "half-open")
+           p.fallback_served
+       | Some { protection = None; _ } | None -> ());
       List.iter (fun table -> Format.fprintf fmt "  %a" Table.pp table) (tables_at t ~hook))
     (hooks t)

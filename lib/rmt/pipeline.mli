@@ -6,7 +6,12 @@
     fire in attach order and the {e last} table's action result is the
     hook's decision (earlier tables are typically data-collection stages
     whose result is ignored, mirroring the paper's two-stage prefetch
-    pipeline). *)
+    pipeline).
+
+    A hook may additionally be {!protect}ed: a circuit breaker watches
+    every firing, and while it is open the hook serves a registered
+    stock-heuristic fallback instead of dispatching the learned tables
+    (DESIGN.md section 12). *)
 
 type t
 
@@ -21,10 +26,47 @@ val hooks : t -> string list
 
 val fire : t -> hook:string -> ctxt:Ctxt.t -> now:(unit -> int) -> int option
 (** Run the hook's tables; [None] when nothing is attached.  The result is
-    the last table's action result. *)
+    the last table's action result.  On a protected hook, the fallback's
+    result is returned instead whenever the breaker is open or the
+    dispatch traps — {!fire} on a protected hook never raises for a
+    contained engine fault. *)
 
 val fire_all : t -> hook:string -> ctxt:Ctxt.t -> now:(unit -> int) -> int list
-(** All action results, in table order. *)
+(** All action results, in table order.  On a protected hook serving its
+    fallback, the single-element list [[fallback ctxt]]. *)
+
+(** {2 Failsafe protection} *)
+
+val protect :
+  t ->
+  hook:string ->
+  ?config:Breaker.config ->
+  ?breaker:Breaker.t ->
+  ?vms:Vm.t array ->
+  fallback:(Ctxt.t -> int) ->
+  unit ->
+  Breaker.t
+(** Arm [hook] with a circuit breaker and a stock-heuristic [fallback].
+
+    While the breaker is open, {!fire} returns [fallback ctxt] without
+    touching the tables; half-open probes let real traffic through again
+    after the backoff.  Failures recorded against the breaker: a
+    contained engine trap during dispatch (which also rolls back any
+    [vms] still inside a canary grace window), a guardrail-violation
+    storm on any of [vms] (windowed rate >= [config.guardrail_rate]),
+    or [config.saturation_streak] consecutive firings in which the
+    [vms]' rate limiters refused units.  Everything else records a
+    success.
+
+    [?breaker] shares an existing breaker across hooks (e.g. both stages
+    of the prefetch pipeline trip together); otherwise a fresh one is
+    created from [?config] and named after the hook.  Registers gauge
+    views [rmt.breaker.<hook>.state] and
+    [rmt.breaker.<hook>.fallback_served].  Returns the armed breaker. *)
+
+val breaker : t -> hook:string -> Breaker.t option
+val fallback_served : t -> hook:string -> int
+(** Events answered by the fallback instead of the learned tables. *)
 
 val firings : t -> hook:string -> int
 val pp : Format.formatter -> t -> unit

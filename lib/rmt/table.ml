@@ -231,7 +231,12 @@ let run_action action ~ctxt ~now =
 let lookup t ~ctxt ~now =
   t.total_hits <- t.total_hits + 1;
   Obs.Counter.incr c_lookups;
-  let e = find_entry t (read_fields t ~ctxt) in
+  (* Fault seam: a forced miss sends the lookup to the default action
+     (table-miss storm, DESIGN.md section 12). *)
+  let e =
+    if Fault.active () && Fault.fire Fault.Table_miss then no_entry
+    else find_entry t (read_fields t ~ctxt)
+  in
   if e == no_entry then begin
     t.default_hits <- t.default_hits + 1;
     Obs.Counter.incr c_default_hits;

@@ -6,16 +6,47 @@ type engine = Interpreted | Jit_compiled
    contract of the JIT fast path is Gc-verified with telemetry on. *)
 let c_invocations = Obs.Counter.make "rmt.vm.invocations"
 let h_steps = Obs.Histo.make "rmt.vm.steps"
+let c_traps = Obs.Counter.make "rmt.vm.traps"
+
+(* Canary lifecycle totals (DESIGN.md section 12). *)
+let c_shadow_runs = Obs.Counter.make "rmt.canary.shadow_runs"
+let c_divergences = Obs.Counter.make "rmt.canary.divergences"
+let c_promoted = Obs.Counter.make "rmt.canary.promoted"
+let c_rolled_back = Obs.Counter.make "rmt.canary.rolled_back"
+let c_grace_rollbacks = Obs.Counter.make "rmt.canary.grace_rollbacks"
+
+(* Candidate slot of the two-slot install protocol: shadows the incumbent
+   for [remaining] invocations, counting divergences (trap, fresh
+   guardrail violation, or result mismatch). *)
+type canary = {
+  c_loaded : Loaded.t;
+  mutable c_compiled : Jit.compiled option;
+  mutable c_remaining : int;
+  mutable c_divergences : int;
+  c_max_divergences : int;
+  c_grace : int;
+}
+
+(* Displaced incumbent, kept for [g_remaining] invocations after a
+   promotion so a trap or breaker-open can roll the promotion back. *)
+type grace = {
+  g_loaded : Loaded.t;
+  g_compiled : Jit.compiled option;
+  mutable g_remaining : int;
+}
 
 type t = {
-  loaded : Loaded.t;
+  mutable loaded : Loaded.t;
   mutable engine : engine;
   mutable compiled : Jit.compiled option;
   (* The limiter needs a creation timestamp, which is only known at the
      first invocation; hence the deferred initialization below. *)
   mutable limiter_state : Rate_limit.t option;
   mutable limiter_initialized : bool;
-  elided_sites : int; (* static count of proof-elided guard sites *)
+  mutable elided_sites : int; (* static count of proof-elided guard sites *)
+  mutable traps : int;
+  mutable canary : canary option;
+  mutable grace : grace option;
 }
 
 let count_elided_sites (loaded : Loaded.t) =
@@ -33,7 +64,10 @@ let create ?(engine = Jit_compiled) loaded =
     compiled = (match engine with Jit_compiled -> Some (Jit.compile loaded) | Interpreted -> None);
     limiter_state = None;
     limiter_initialized = false;
-    elided_sites = count_elided_sites loaded }
+    elided_sites = count_elided_sites loaded;
+    traps = 0;
+    canary = None;
+    grace = None }
 
 let engine t = t.engine
 
@@ -45,6 +79,7 @@ let set_engine t e =
 
 let loaded t = t.loaded
 let elided_guard_sites t = t.elided_sites
+let traps t = t.traps
 
 let limiter_for t ~now =
   if not t.limiter_initialized then begin
@@ -64,6 +99,35 @@ let compiled_for t =
     let c = Jit.compile t.loaded in
     t.compiled <- Some c;
     c
+
+(* Point [t] at a different loaded instance in place.  In-place matters:
+   table entries hold direct [Run vm] references (Table.action), so
+   promotion and rollback must be visible through the existing Vm without
+   touching any table. *)
+let adopt t ?compiled loaded =
+  t.loaded <- loaded;
+  t.compiled <-
+    (match t.engine with
+     | Interpreted -> None
+     | Jit_compiled ->
+       (match compiled with Some _ as c -> c | None -> Some (Jit.compile loaded)));
+  t.limiter_state <- None;
+  t.limiter_initialized <- false;
+  t.elided_sites <- count_elided_sites loaded
+
+let swap t loaded =
+  t.canary <- None;
+  t.grace <- None;
+  adopt t loaded
+
+let rollback t =
+  match t.grace with
+  | None -> false
+  | Some g ->
+    adopt t ?compiled:g.g_compiled g.g_loaded;
+    t.grace <- None;
+    Obs.Counter.incr c_grace_rollbacks;
+    true
 
 let engine_code = function Interpreted -> 0 | Jit_compiled -> 1
 
@@ -92,12 +156,152 @@ let record t ~violations_before ~steps ~result ~throttled ~denied =
 let guardrail_violations_now t =
   match t.loaded.Loaded.guardrail with Some g -> Guardrail.violations g | None -> 0
 
+(* ------------------------------------------------------------------ *)
+(* Trap containment (DESIGN.md section 12)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Engine exceptions normalized to a trap class; anything unrecognized
+   (Out_of_memory, Assert_failure, ...) is a programming error and
+   propagates unchanged. *)
+let trap_of_exn = function
+  | Interp.Trap trap -> Some trap
+  | Interp.Fuel_exhausted -> Some Interp.Trap_fuel
+  | Division_by_zero -> Some Interp.Trap_div
+  | Invalid_argument msg -> Some (Interp.Trap_bounds msg)
+  | Failure msg -> Some (Interp.Trap_foreign msg)
+  | Stack_overflow -> Some (Interp.Trap_foreign "stack overflow")
+  | _ -> None
+
+(* Called on the cold path, with the engine already unwound.  A trap
+   during the post-promotion grace window rolls the promotion back before
+   re-raising, so the incumbent heuristic-vetted program serves the next
+   invocation. *)
+let contain_trap t exn =
+  match trap_of_exn exn with
+  | None -> raise exn
+  | Some trap ->
+    t.traps <- t.traps + 1;
+    Obs.Counter.incr c_traps;
+    (match t.grace with Some _ -> ignore (rollback t) | None -> ());
+    raise (Interp.Trap trap)
+
+(* ------------------------------------------------------------------ *)
+(* Canary shadowing (DESIGN.md section 12)                              *)
+(* ------------------------------------------------------------------ *)
+
+let canary_compiled c =
+  match c.c_compiled with
+  | Some jc -> jc
+  | None ->
+    let jc = Jit.compile c.c_loaded in
+    c.c_compiled <- Some jc;
+    jc
+
+let promote t c =
+  let prev_loaded = t.loaded and prev_compiled = t.compiled in
+  adopt t
+    ?compiled:(match t.engine with Jit_compiled -> Some (canary_compiled c) | Interpreted -> None)
+    c.c_loaded;
+  t.canary <- None;
+  t.grace <-
+    (if c.c_grace > 0 then
+       Some { g_loaded = prev_loaded; g_compiled = prev_compiled; g_remaining = c.c_grace }
+     else None);
+  Obs.Counter.incr c_promoted
+
+(* One shadow step per live invocation: run the candidate on a copy of the
+   context (its maps and vmem are its own, so the live datapath state is
+   untouched), compare against the incumbent's result, and promote or roll
+   back when the canary budget is spent. *)
+let shadow_step t c ~ctxt ~now incumbent_result =
+  Obs.Counter.incr c_shadow_runs;
+  let shadow_ctxt = Ctxt.copy ctxt in
+  let violations_before =
+    match c.c_loaded.Loaded.guardrail with Some g -> Guardrail.violations g | None -> 0
+  in
+  let candidate_result =
+    match t.engine with
+    | Interpreted -> (Interp.run c.c_loaded ~ctxt:shadow_ctxt ~now).Interp.result
+    | Jit_compiled -> Jit.exec (canary_compiled c) ~ctxt:shadow_ctxt ~now
+  in
+  match candidate_result with
+  | result ->
+    let violated =
+      match c.c_loaded.Loaded.guardrail with
+      | Some g -> Guardrail.violations g > violations_before
+      | None -> false
+    in
+    if violated || result <> incumbent_result then begin
+      c.c_divergences <- c.c_divergences + 1;
+      Obs.Counter.incr c_divergences
+    end;
+    c.c_remaining <- c.c_remaining - 1;
+    if c.c_remaining <= 0 then
+      if c.c_divergences <= c.c_max_divergences then promote t c
+      else begin
+        t.canary <- None;
+        Obs.Counter.incr c_rolled_back
+      end
+  | exception exn ->
+    (match trap_of_exn exn with
+     | None -> raise exn
+     | Some _ ->
+       (* A trapping candidate is disqualified outright. *)
+       t.canary <- None;
+       Obs.Counter.incr c_divergences;
+       Obs.Counter.incr c_rolled_back)
+
+let tick_grace t g =
+  g.g_remaining <- g.g_remaining - 1;
+  if g.g_remaining <= 0 then t.grace <- None
+
+(* Cold path hung off the hot invokes below: two option loads when idle. *)
+let staging_step t ~ctxt ~now result =
+  (match t.canary with Some c -> shadow_step t c ~ctxt ~now result | None -> ());
+  match t.grace with Some g -> tick_grace t g | None -> ()
+
+let stage_canary t ?(invocations = 64) ?max_divergences ?(grace = 256) loaded =
+  if invocations <= 0 then invalid_arg "Vm.stage_canary: invocations must be positive";
+  let max_divergences =
+    match max_divergences with Some d -> Stdlib.max 0 d | None -> invocations / 4
+  in
+  t.canary <-
+    Some
+      { c_loaded = loaded;
+        c_compiled = None;
+        c_remaining = invocations;
+        c_divergences = 0;
+        c_max_divergences = max_divergences;
+        c_grace = grace }
+
+let cancel_canary t =
+  match t.canary with
+  | None -> false
+  | Some _ ->
+    t.canary <- None;
+    Obs.Counter.incr c_rolled_back;
+    true
+
+let canary_status t =
+  match (t.canary, t.grace) with
+  | Some c, _ -> `Canary (c.c_remaining, c.c_divergences)
+  | None, Some g -> `Grace g.g_remaining
+  | None, None -> `Idle
+
+(* ------------------------------------------------------------------ *)
+(* Invocation                                                           *)
+(* ------------------------------------------------------------------ *)
+
 let invoke t ~ctxt ~now =
   let violations_before = guardrail_violations_now t in
   let outcome =
-    match t.engine with
-    | Interpreted -> Interp.run t.loaded ~ctxt ~now
-    | Jit_compiled -> Jit.run (compiled_for t) ~ctxt ~now
+    match
+      (match t.engine with
+       | Interpreted -> Interp.run t.loaded ~ctxt ~now
+       | Jit_compiled -> Jit.run (compiled_for t) ~ctxt ~now)
+    with
+    | outcome -> outcome
+    | exception exn -> contain_trap t exn
   in
   let outcome, throttled =
     match limiter_for t ~now with
@@ -109,18 +313,33 @@ let invoke t ~ctxt ~now =
   if Obs.enabled () then
     record t ~violations_before ~steps:outcome.Interp.steps ~result:outcome.Interp.result
       ~throttled ~denied:outcome.Interp.privacy_denied;
+  if t.canary != None || t.grace != None then
+    staging_step t ~ctxt ~now outcome.Interp.result;
   outcome
 
 let invoke_result t ~ctxt ~now =
   let violations_before = guardrail_violations_now t in
+  (* The trap handlers sit inside each engine arm, on an immediate (int)
+     or already-boxed (outcome) value: a handler around the whole match
+     would force the triple to materialize and break the JIT path's
+     zero-allocation contract (the let-tuple below compiles to direct
+     assignments only when every arm ends in a syntactic tuple). *)
   let result, steps, denied =
     match t.engine with
     | Interpreted ->
-      let o = Interp.run t.loaded ~ctxt ~now in
+      let o =
+        match Interp.run t.loaded ~ctxt ~now with
+        | o -> o
+        | exception exn -> contain_trap t exn
+      in
       (o.Interp.result, o.Interp.steps, o.Interp.privacy_denied)
     | Jit_compiled ->
       let c = compiled_for t in
-      let result = Jit.exec c ~ctxt ~now in
+      let result =
+        match Jit.exec c ~ctxt ~now with
+        | r -> r
+        | exception exn -> contain_trap t exn
+      in
       (result, Jit.last_steps c, Jit.last_privacy_denied c)
   in
   let result, throttled =
@@ -131,7 +350,18 @@ let invoke_result t ~ctxt ~now =
       (granted, granted < result)
   in
   if Obs.enabled () then record t ~violations_before ~steps ~result ~throttled ~denied;
+  if t.canary != None || t.grace != None then staging_step t ~ctxt ~now result;
   result
+
+let invoke_checked t ~ctxt ~now =
+  match invoke t ~ctxt ~now with
+  | outcome -> Ok outcome
+  | exception Interp.Trap trap -> Error trap
+
+let invoke_result_checked t ~ctxt ~now =
+  match invoke_result t ~ctxt ~now with
+  | result -> Ok result
+  | exception Interp.Trap trap -> Error trap
 
 let jit_units t =
   match t.compiled with Some c -> Jit.compiled_units c | None -> 0
@@ -144,6 +374,9 @@ let throttled_units t =
 
 let guardrail_violations t =
   match t.loaded.Loaded.guardrail with Some g -> Guardrail.violations g | None -> 0
+
+let guardrail_violation_rate t =
+  match t.loaded.Loaded.guardrail with Some g -> Guardrail.violation_rate g | None -> 0.0
 
 let privacy_remaining_milli t =
   match t.loaded.Loaded.privacy with

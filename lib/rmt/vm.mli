@@ -5,7 +5,13 @@
     Guardrails are applied inside the engines (at [Exit]); the token-bucket
     rate limiter, when declared, is applied here: the action result is
     treated as a resource request for N units and clamped to the grant
-    (§3.3 "Performance interference"). *)
+    (§3.3 "Performance interference").
+
+    Failure containment (DESIGN.md section 12): every engine runtime error
+    is normalized to {!Interp.trap} and re-raised as [Interp.Trap] — no
+    other exception escapes {!invoke} for a fault in the program itself —
+    and a staged candidate program can shadow the incumbent for a canary
+    window before being atomically promoted (or rolled back). *)
 
 type engine = Interpreted | Jit_compiled
 
@@ -19,14 +25,58 @@ val set_engine : t -> engine -> unit
 (** Switching to [Jit_compiled] (re)compiles. *)
 
 val loaded : t -> Loaded.t
+
 val invoke : t -> ctxt:Ctxt.t -> now:(unit -> int) -> Interp.outcome
 (** Run once.  When the program declares [Rate_limited], the outcome's
-    [result] is the number of granted units (<= the program's request). *)
+    [result] is the number of granted units (<= the program's request).
+
+    @raise Interp.Trap on any contained engine fault (fuel exhaustion,
+    bad vmem access, division trap, injected fault, helper failure);
+    {!traps} counts these.  A trap during a post-promotion grace window
+    first rolls the promotion back. *)
 
 val invoke_result : t -> ctxt:Ctxt.t -> now:(unit -> int) -> int
 (** Like {!invoke} but returns only the action result; on the JIT engine
     this performs zero heap allocation in steady state (no outcome record
     is built).  Table actions use this as their hot dispatch path. *)
+
+val invoke_checked :
+  t -> ctxt:Ctxt.t -> now:(unit -> int) -> (Interp.outcome, Interp.trap) result
+(** {!invoke} with the trap surfaced as a value instead of an exception. *)
+
+val invoke_result_checked :
+  t -> ctxt:Ctxt.t -> now:(unit -> int) -> (int, Interp.trap) result
+(** {!invoke_result} with the trap surfaced as a value. *)
+
+(** {2 Transactional install: canary shadowing, promotion, rollback} *)
+
+val stage_canary :
+  t -> ?invocations:int -> ?max_divergences:int -> ?grace:int -> Loaded.t -> unit
+(** Stage [loaded] as the candidate of a two-slot install.  For the next
+    [invocations] (default 64) live invocations the candidate runs in
+    shadow on a {!Ctxt.copy} of each context; a shadow run that traps
+    disqualifies it immediately, and one that violates its guardrail or
+    disagrees with the incumbent's result counts as a divergence.  When
+    the window closes the candidate is promoted iff its divergences are
+    at most [max_divergences] (default [invocations/4]); the displaced
+    incumbent is kept for [grace] (default 256) further invocations so
+    {!rollback} — or any trap — can restore it.  Staging again replaces
+    any in-flight candidate. *)
+
+val cancel_canary : t -> bool
+(** Drop an in-flight candidate without promotion; [false] if none. *)
+
+val canary_status : t -> [ `Idle | `Canary of int * int | `Grace of int ]
+(** [`Canary (remaining, divergences)] while shadowing; [`Grace remaining]
+    after a promotion while rollback is still possible. *)
+
+val rollback : t -> bool
+(** Restore the pre-promotion incumbent while its grace window is open;
+    [false] when there is nothing to roll back to. *)
+
+val swap : t -> Loaded.t -> unit
+(** Immediate (non-canaried) replacement of the running program; resets
+    limiter state and drops any canary or grace slot. *)
 
 val jit_units : t -> int
 (** Program units the JIT has compiled for this VM (root plus tail-call
@@ -42,5 +92,13 @@ val total_steps : t -> int
 val throttled_units : t -> int
 (** Units refused by the rate limiter so far (0 when not rate limited). *)
 
+val traps : t -> int
+(** Contained engine faults observed at this VM's boundary. *)
+
 val guardrail_violations : t -> int
+
+val guardrail_violation_rate : t -> float
+(** Recent-window violation rate of the program's guardrail, 0.0 when the
+    program declares none (see {!Guardrail.violation_rate}). *)
+
 val privacy_remaining_milli : t -> int option

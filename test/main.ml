@@ -1,4 +1,7 @@
 let () =
+  (* Ambient RKD_FAULTS plans would perturb exact-value assertions; the
+     failsafe suite re-arms faults through scoped plans instead. *)
+  Rmt.Fault.suppress_default ();
   Alcotest.run "rkd"
     (List.concat
        [ Test_fixed.suite;
@@ -16,4 +19,5 @@ let () =
          Test_extensions.suite;
          Test_more.suite;
          Test_par.suite;
-         Test_obs.suite ])
+         Test_obs.suite;
+         Test_failsafe.suite ])
