@@ -54,8 +54,29 @@ let strict_arg =
   in
   Arg.(value & flag & info [ "strict" ] ~doc)
 
+(* Declared resource budget (Homunculus-style admission): any axis left
+   unset inherits Resource.default_budget. *)
+let max_steps_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-steps" ] ~docv:"N" ~doc:"Budget: worst-case dynamic instructions.")
+
+let max_scratch_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-scratch" ] ~docv:"N" ~doc:"Budget: vector scratchpad words.")
+
+let max_slots_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-slots" ] ~docv:"N"
+           ~doc:"Budget: kernel-object table slots (maps + models + tail calls).")
+
+let budget_of_flags max_steps max_scratch max_slots =
+  let d = Rmt.Resource.default_budget in
+  { Rmt.Resource.max_steps = Option.value max_steps ~default:d.Rmt.Resource.max_steps;
+    max_scratch_words = Option.value max_scratch ~default:d.Rmt.Resource.max_scratch_words;
+    max_table_slots = Option.value max_slots ~default:d.Rmt.Resource.max_table_slots }
+
 let verify_cmd =
-  let run path strict =
+  let run path strict max_steps max_scratch max_slots =
     match parse_program path with
     | Error e ->
       prerr_endline e;
@@ -70,17 +91,71 @@ let verify_cmd =
          Format.printf "  uses privacy-charged helpers: %b@." report.Rmt.Verifier.uses_privacy;
          Format.printf "  helpers used: [%s]@."
            (String.concat "; " (List.map string_of_int report.Rmt.Verifier.helper_ids_used));
+         let resource = Rmt.Resource.of_report report program in
+         Format.printf "  %a@." Rmt.Resource.pp resource;
          let ai = Rmt.Absint.analyze ~helpers program in
          Format.printf "  abstract interpretation:@.";
          Rmt.Absint.pp Format.std_formatter ai program;
-         0
+         let budget = budget_of_flags max_steps max_scratch max_slots in
+         (match Rmt.Resource.violations resource budget with
+          | [] -> 0
+          | vs ->
+            List.iter (fun v -> Format.printf "  BUDGET EXCEEDED: %s@." v) vs;
+            1)
        | Error v ->
          Format.printf "%s: REJECTED: %a@." program.Rmt.Program.name Rmt.Verifier.pp_violation
            v;
          1)
   in
-  let doc = "verify an RMT assembly program and print the abstract-interpretation report" in
-  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ program_arg $ strict_arg)
+  let doc =
+    "verify an RMT assembly program, print the resource and abstract-interpretation \
+     reports, and fail if a declared budget is exceeded"
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ program_arg $ strict_arg $ max_steps_arg $ max_scratch_arg
+          $ max_slots_arg)
+
+let resources_cmd =
+  let run json_path =
+    let helpers = Rmt.Helper.with_defaults () in
+    let params = Rkd.Prefetch_rmt.default_params in
+    let progs =
+      [ Rkd.Prefetch_rmt.build_collect_program params;
+        Rkd.Prefetch_rmt.build_predict_program params ]
+    in
+    let reports =
+      List.filter_map
+        (fun (prog : Rmt.Program.t) ->
+          match Rmt.Verifier.check_structure_only ~helpers prog with
+          | Ok report -> Some (Rmt.Resource.of_report report prog)
+          | Error v ->
+            Format.printf "%s: REJECTED: %a@." prog.Rmt.Program.name Rmt.Verifier.pp_violation
+              v;
+            None)
+        progs
+    in
+    List.iter (fun r -> Format.printf "%a@." Rmt.Resource.pp r) reports;
+    (match json_path with
+     | None -> ()
+     | Some path ->
+       let oc = open_out path in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           List.iter (fun r -> output_string oc (Rmt.Resource.to_json r ^ "\n")) reports);
+       Format.printf "wrote %d resource reports to %s@." (List.length reports) path);
+    if List.length reports = List.length progs then 0 else 1
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the reports as JSON lines to FILE (CI artifact).")
+  in
+  let doc =
+    "print compile-time resource reports (steps, scratch, table slots, specialization \
+     counts) for the example prefetch programs"
+  in
+  Cmd.v (Cmd.info "resources" ~doc) Term.(const run $ json_arg)
 
 let absint_fuzz_cmd =
   let run trials seed =
@@ -424,8 +499,8 @@ let main =
   in
   Cmd.group
     (Cmd.info "rkdctl" ~version:"1.0.0" ~doc)
-    [ verify_cmd; disasm_cmd; run_cmd; assemble_cmd; absint_fuzz_cmd; decode_fuzz_cmd;
-      chaos_cmd; stats_cmd; trace_cmd; table1_cmd; table2_cmd; ablations_cmd; overhead_cmd;
-      shapes_cmd ]
+    [ verify_cmd; resources_cmd; disasm_cmd; run_cmd; assemble_cmd; absint_fuzz_cmd;
+      decode_fuzz_cmd; chaos_cmd; stats_cmd; trace_cmd; table1_cmd; table2_cmd;
+      ablations_cmd; overhead_cmd; shapes_cmd ]
 
 let () = exit (Cmd.eval' main)

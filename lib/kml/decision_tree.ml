@@ -216,6 +216,30 @@ let predict t features =
   check_arity t features;
   t.s_label.(walk_flat t features)
 
+(* Batched inference: one walk per slot over the flat layout, reading
+   slot [s]'s features at row offset [s * n_features] — no per-slot
+   feature copy, no allocation. *)
+let predict_batch t ~features ~n ~out =
+  let nf = t.n_features in
+  if n < 0 || Array.length features < n * nf then
+    invalid_arg "Decision_tree.predict_batch: feature buffer too small";
+  if Array.length out < n then
+    invalid_arg "Decision_tree.predict_batch: output buffer too small";
+  let feat = t.s_feature
+  and thr = t.s_threshold
+  and left = t.s_left
+  and right = t.s_right in
+  for s = 0 to n - 1 do
+    let base = s * nf in
+    let i = ref 0 in
+    let f = ref feat.(0) in
+    while !f >= 0 do
+      i := (if features.(base + !f) <= thr.(!i) then left.(!i) else right.(!i));
+      f := feat.(!i)
+    done;
+    out.(s) <- t.s_label.(!i)
+  done
+
 let predict_dist t features =
   check_arity t features;
   match t.nodes.(walk_flat t features) with

@@ -28,6 +28,12 @@ val predict : t -> int array -> int
     matching and no allocation.  Raises [Invalid_argument] on
     feature-arity mismatch. *)
 
+val predict_batch : t -> features:int array -> n:int -> out:int array -> unit
+(** Batched [predict] over [n] slot-major feature rows: slot [s]'s
+    features start at [features.(s * n_features)], its class lands in
+    [out.(s)].  One flat-layout walk per slot, no per-slot feature copy,
+    no allocation. *)
+
 val predict_dist : t -> int array -> int array
 (** Training-set class counts at the reached leaf. *)
 

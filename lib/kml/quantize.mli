@@ -11,6 +11,14 @@ module Qmlp : sig
   val predict : t -> int array -> int
   (** Integer-only forward pass on raw integer features. *)
 
+  val predict_batch : t -> features:int array -> n:int -> out:int array -> unit
+  (** Batched [predict]: slot [s]'s features are
+      [features.(s * n_features) ..], its class lands in [out.(s)].  One
+      weight-row-major sweep per layer over the whole batch, so model
+      weights amortize across slots; per slot the result is bit-identical
+      to [predict].  Internal batch planes grow geometrically and are
+      reused — allocation-free in steady state. *)
+
   val logits : t -> int array -> Tensor.Qvec.t
   val n_features : t -> int
   val n_classes : t -> int

@@ -71,4 +71,12 @@ module Qmat : sig
   val mul_vec : t -> Qvec.t -> Qvec.t
   val mul_vec_into : t -> Qvec.t -> Qvec.t -> unit
   (** [mul_vec_into m x out] writes [m * x] into [out] without allocating. *)
+
+  val mul_vec_batch :
+    t -> x:Qvec.t -> xstride:int -> y:Qvec.t -> ystride:int -> n:int -> unit
+  (** Batched [mul_vec_into] over [n] slot-major vectors: slot [s]'s input
+      is [x.(s * xstride + j)], its result row [i] lands in
+      [y.(s * ystride + i)].  The loop is weight-row-major with slots
+      innermost, so each weight row is read once per batch sweep; per slot
+      the result is bit-identical to [mul_vec_into].  Allocation-free. *)
 end

@@ -41,7 +41,10 @@ val shutdown : pool -> unit
 
 val parallel_map_array : ?chunk:int -> pool -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel map.  [chunk] overrides the chunk size
-    (default: splits the index space into about 4 chunks per domain). *)
+    (default: splits the index space into about 4 chunks per domain,
+    never below the stealing-overhead grain).  On a width-1 pool, or
+    when the default grain says the batch is too fine to be worth
+    distributing, this degenerates to a plain sequential [Array.map]. *)
 
 val parallel_map : pool -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map over a list (chunk size 1: experiment

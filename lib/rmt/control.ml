@@ -3,6 +3,7 @@ type t = {
   store : Model_store.t;
   pipeline : Pipeline.t;
   programs : (string, Vm.t) Hashtbl.t;
+  resources : (string, Resource.t) Hashtbl.t; (* per-program compile-time report *)
   tables : (string, Table.t) Hashtbl.t;
   mutable clock : unit -> int;
   mutable program_order : string list;
@@ -50,6 +51,7 @@ let create ?(engine = Vm.Jit_compiled) ?(limits = Verifier.default_limits) ?(see
     store = Model_store.create ();
     pipeline = Pipeline.create ();
     programs = Hashtbl.create 16;
+    resources = Hashtbl.create 16;
     tables = Hashtbl.create 16;
     clock = (fun () -> 0);
     program_order = [];
@@ -89,7 +91,8 @@ let update_model t ~name model =
    registry: the shared front half of {!install} (which wraps the result
    in a fresh Vm) and {!install_canary} (which stages it as the candidate
    slot of an already-running Vm). *)
-let prepare t ?(budget = Kml.Model_cost.default_budget) ?(model_names = []) (prog : Program.t) =
+let prepare t ?(budget = Kml.Model_cost.default_budget) ?resource_budget ?(model_names = [])
+    (prog : Program.t) =
   let n_slots = Array.length prog.model_arity in
   if List.length model_names <> n_slots then
     Error
@@ -122,15 +125,35 @@ let prepare t ?(budget = Kml.Model_cost.default_budget) ?(model_names = []) (pro
          Error (Printf.sprintf "verifier rejected %s: %s" prog.name
                   (Verifier.violation_to_string v))
        | Ok report ->
-         let maps = Array.map Map_store.create prog.map_specs in
-         let rng = Kml.Rng.split t.rng t.installs in
-         t.installs <- t.installs + 1;
-         (match
-            Loaded.link ~rng ~proofs:report.Verifier.proof ~store:t.store ~helpers:t.helpers
-              ~maps ~models:handles prog
-          with
-          | loaded -> Ok loaded
-          | exception Invalid_argument msg -> Error msg))
+         (* Compile-time resource report (Homunculus-style): derived from
+            the same verifier report the JIT will specialize against, and
+            checkable against a declared ceiling before the program ever
+            serves traffic. *)
+         let resource = Resource.of_report report prog in
+         let over_budget =
+           match resource_budget with
+           | Some rb -> Resource.violations resource rb
+           | None -> []
+         in
+         if over_budget <> [] then begin
+           Obs.Counter.incr c_install_rejected;
+           Error
+             (Printf.sprintf "resource budget rejected %s: %s" prog.name
+                (String.concat "; " over_budget))
+         end
+         else begin
+           let maps = Array.map Map_store.create prog.map_specs in
+           let rng = Kml.Rng.split t.rng t.installs in
+           t.installs <- t.installs + 1;
+           match
+             Loaded.link ~rng ~proofs:report.Verifier.proof ~facts:report.Verifier.facts
+               ~store:t.store ~helpers:t.helpers ~maps ~models:handles prog
+           with
+           | loaded ->
+             Hashtbl.replace t.resources prog.name resource;
+             Ok loaded
+           | exception Invalid_argument msg -> Error msg
+         end)
   end
 
 let retry_for t name =
@@ -214,9 +237,9 @@ let protect t ~hook ?config ?breaker ?programs ~fallback () =
   in
   Pipeline.protect t.pipeline ~hook ?config ?breaker ~vms ~fallback ()
 
-let install t ?engine ?budget ?model_names (prog : Program.t) =
+let install t ?engine ?budget ?resource_budget ?model_names (prog : Program.t) =
   let engine = Option.value engine ~default:t.default_engine in
-  match prepare t ?budget ?model_names prog with
+  match prepare t ?budget ?resource_budget ?model_names prog with
   | Error _ as e -> e
   | Ok loaded ->
     let vm = Vm.create ~engine loaded in
@@ -227,14 +250,14 @@ let install t ?engine ?budget ?model_names (prog : Program.t) =
     register_program_views prog.name vm;
     Ok vm
 
-let install_canary t ?engine ?budget ?model_names ?invocations ?max_divergences ?grace
-    (prog : Program.t) =
+let install_canary t ?engine ?budget ?resource_budget ?model_names ?invocations
+    ?max_divergences ?grace (prog : Program.t) =
   match Hashtbl.find_opt t.programs prog.name with
   | None ->
     (* Nothing to canary against: a first install is immediate. *)
-    install t ?engine ?budget ?model_names prog
+    install t ?engine ?budget ?resource_budget ?model_names prog
   | Some vm ->
-    (match prepare t ?budget ?model_names prog with
+    (match prepare t ?budget ?resource_budget ?model_names prog with
      | Error _ as e -> e
      | Ok loaded ->
        Vm.stage_canary vm ?invocations ?max_divergences ?grace loaded;
@@ -251,21 +274,24 @@ let rollback_program t name =
   | None -> false
   | Some vm -> Vm.cancel_canary vm || Vm.rollback vm
 
-let install_asm t ?engine ?budget ?model_names source =
+let install_asm t ?engine ?budget ?resource_budget ?model_names source =
   match Asm.parse ~helpers:t.helpers source with
   | Error e -> Error (Format.asprintf "%a" Asm.pp_error e)
-  | Ok prog -> install t ?engine ?budget ?model_names prog
+  | Ok prog -> install t ?engine ?budget ?resource_budget ?model_names prog
 
-let install_bytes t ?engine ?budget ?model_names data =
+let install_bytes t ?engine ?budget ?resource_budget ?model_names data =
   match Encoding.decode data with
   | Error e -> Error ("decode: " ^ e)
-  | Ok prog -> install t ?engine ?budget ?model_names prog
+  | Ok prog -> install t ?engine ?budget ?resource_budget ?model_names prog
 
 let find_program t name = Hashtbl.find_opt t.programs name
+
+let resource_report t name = Hashtbl.find_opt t.resources name
 
 let remove_program t name =
   if Hashtbl.mem t.programs name then begin
     Hashtbl.remove t.programs name;
+    Hashtbl.remove t.resources name;
     t.program_order <- List.filter (fun n -> n <> name) t.program_order;
     List.iter
       (fun suffix -> Obs.Registry.unregister_view ("rmt.program." ^ name ^ "." ^ suffix))
@@ -295,6 +321,10 @@ let attach t ~hook table = Pipeline.attach t.pipeline ~hook table
 let fire t ~hook ~ctxt =
   Obs.Counter.incr c_fires;
   Pipeline.fire t.pipeline ~hook ~ctxt ~now:t.clock
+
+let fire_batch t ~hook b =
+  Obs.Counter.add c_fires b.Batch.n;
+  Pipeline.fire_batch t.pipeline ~hook b ~now:t.clock
 let program_names t = t.program_order
 let table_names t = t.table_order
 

@@ -51,18 +51,28 @@ val install :
   t ->
   ?engine:Vm.engine ->
   ?budget:Kml.Model_cost.budget ->
+  ?resource_budget:Resource.budget ->
   ?model_names:string list ->
   Program.t ->
   (Vm.t, string) result
 (** The install syscall: bind model slots (by registered name, in slot
     order), run {!Verifier.check} with the bound models' costs, link and
     wrap in a {!Vm}.  The program is registered under its name; reinstalling
-    a name replaces it. *)
+    a name replaces it.
+
+    When [resource_budget] is given, the compile-time {!Resource} report
+    (worst-case steps, scratch words, table slots — all post-
+    specialization) is checked against it and the install is refused with
+    a [resource budget rejected] error when any axis exceeds the budget.
+    The report of every successfully installed program is retained and
+    available through {!resource_report} whether or not a budget was
+    supplied. *)
 
 val install_asm :
   t ->
   ?engine:Vm.engine ->
   ?budget:Kml.Model_cost.budget ->
+  ?resource_budget:Resource.budget ->
   ?model_names:string list ->
   string ->
   (Vm.t, string) result
@@ -71,6 +81,7 @@ val install_bytes :
   t ->
   ?engine:Vm.engine ->
   ?budget:Kml.Model_cost.budget ->
+  ?resource_budget:Resource.budget ->
   ?model_names:string list ->
   bytes ->
   (Vm.t, string) result
@@ -81,6 +92,7 @@ val install_canary :
   t ->
   ?engine:Vm.engine ->
   ?budget:Kml.Model_cost.budget ->
+  ?resource_budget:Resource.budget ->
   ?model_names:string list ->
   ?invocations:int ->
   ?max_divergences:int ->
@@ -104,6 +116,11 @@ val rollback_program : t -> string -> bool
     still open.  [false] when there is nothing to roll back. *)
 
 val find_program : t -> string -> Vm.t option
+
+val resource_report : t -> string -> Resource.t option
+(** Compile-time resource report of an installed program (recorded at
+    install time, post-specialization); [None] for unknown names. *)
+
 val remove_program : t -> string -> bool
 val bind_tail_call : t -> caller:string -> slot:int -> callee:string -> (unit, string) result
 
@@ -113,6 +130,11 @@ val create_table : t -> name:string -> match_keys:int array -> default:Table.act
 val find_table : t -> string -> Table.t option
 val attach : t -> hook:string -> Table.t -> unit
 val fire : t -> hook:string -> ctxt:Ctxt.t -> int option
+
+val fire_batch : t -> hook:string -> Batch.t -> bool
+(** Batched {!fire} through {!Pipeline.fire_batch}: run every table at
+    [hook] over the whole batch, leaving per-slot results in the batch
+    columns.  [false] when nothing is attached. *)
 
 val protect :
   t ->

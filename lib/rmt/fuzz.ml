@@ -3,8 +3,8 @@
 
    The reference interpreter here deliberately duplicates Interp's
    semantics instead of reusing it: it keeps every runtime guard on and is
-   written independently, so a proof-elision bug in either engine (or an
-   unsound interval) shows up as a three-way disagreement rather than two
+   written independently, so a proof-elision bug in any engine (or an
+   unsound interval) shows up as a four-way disagreement rather than two
    copies of the same mistake agreeing with each other. *)
 
 type stats = {
@@ -12,11 +12,13 @@ type stats = {
   accepted : int;
   rejected : int;
   claims_checked : int;
+  batch_slots_checked : int;
 }
 
 let pp_stats fmt s =
-  Format.fprintf fmt "%d trials: %d accepted, %d rejected, %d interval claims checked"
-    s.trials s.accepted s.rejected s.claims_checked
+  Format.fprintf fmt
+    "%d trials: %d accepted, %d rejected, %d interval claims checked, %d batch slots checked"
+    s.trials s.accepted s.rejected s.claims_checked s.batch_slots_checked
 
 let now_value = 12_345
 
@@ -356,7 +358,7 @@ let ref_run (prog : Program.t) ~helpers ~maps ~store ~models ~rng_seed
   | exception Ref_exit r -> (r, !steps, !denied)
 
 (* ------------------------------------------------------------------ *)
-(* Three-way differential driver.                                      *)
+(* Four-way differential driver.                                       *)
 (* ------------------------------------------------------------------ *)
 
 let dump_ctxt ctxt = List.sort compare (Ctxt.fold (fun k v acc -> (k, v) :: acc) ctxt [])
@@ -377,6 +379,7 @@ let run ?(seed = 0x50FA) ~trials () =
   let master = Kml.Rng.create seed in
   let helpers = Helper.with_defaults () in
   let accepted = ref 0 and rejected = ref 0 and claims = ref 0 in
+  let batch_slots = ref 0 in
   for trial = 0 to trials - 1 do
     let rng = Kml.Rng.split master trial in
     let prog = gen_program rng in
@@ -412,11 +415,17 @@ let run ?(seed = 0x50FA) ~trials () =
         ref_run prog ~helpers ~maps:ref_maps ~store ~models ~rng_seed
           ~facts:ai.Absint.facts ~claims ~ctxt:ref_ctxt
       in
+      (* Lane 2: proof-eliding interpreter (proofs, no facts).
+         Lane 3: proof-specialized JIT (proofs + interval facts). *)
       let engine_out use_jit =
         let maps = fresh_maps () in
         let loaded =
-          Loaded.link ~rng:(Kml.Rng.create rng_seed) ~proofs:report.Verifier.proof ~store
-            ~helpers ~maps ~models prog
+          if use_jit then
+            Loaded.link ~rng:(Kml.Rng.create rng_seed) ~proofs:report.Verifier.proof
+              ~facts:report.Verifier.facts ~store ~helpers ~maps ~models prog
+          else
+            Loaded.link ~rng:(Kml.Rng.create rng_seed) ~proofs:report.Verifier.proof ~store
+              ~helpers ~maps ~models prog
         in
         let ctxt = Ctxt.of_list bindings in
         let now () = now_value in
@@ -444,9 +453,67 @@ let run ?(seed = 0x50FA) ~trials () =
       done;
       if ref_steps > report.Verifier.worst_case_steps then
         fail_prog prog "steps %d exceed verifier worst case %d (trial %d)" ref_steps
-          report.Verifier.worst_case_steps trial
+          report.Verifier.worst_case_steps trial;
+      (* Lane 4: the batch path.  A batch of 1 must reproduce scalar
+         semantics for every program (non-batchable programs take the
+         per-slot fallback); SoA-eligible programs additionally run a
+         batch of 3 identical slots, each of which must reproduce the
+         reference bit-for-bit — including the shared broadcast step
+         count. *)
+      let batch_lane k =
+        let maps = fresh_maps () in
+        let loaded =
+          Loaded.link ~rng:(Kml.Rng.create rng_seed) ~proofs:report.Verifier.proof
+            ~facts:report.Verifier.facts ~store ~helpers ~maps ~models prog
+        in
+        let vm = Vm.create ~engine:Vm.Jit_compiled loaded in
+        let b = Batch.create ~capacity:k in
+        for s = 0 to k - 1 do
+          b.Batch.ctxts.(s) <- Ctxt.of_list bindings
+        done;
+        Vm.invoke_batch vm b ~now:(fun () -> now_value);
+        (b, maps)
+      in
+      let check_batch_slot k (b : Batch.t) s =
+        (match b.Batch.traps.(s) with
+         | Some trap ->
+           fail_prog prog "batch(%d) slot %d trapped: %s (trial %d)" k s
+             (Interp.trap_message trap) trial
+         | None -> ());
+        if (b.Batch.results.(s), b.Batch.steps.(s), b.Batch.denied.(s)) <> ref_out then
+          fail_prog prog "batch(%d) slot %d disagrees with reference (trial %d)" k s trial;
+        if dump_ctxt b.Batch.ctxts.(s) <> dump_ctxt ref_ctxt then
+          fail_prog prog "batch(%d) slot %d ctxt state diverged (trial %d)" k s trial;
+        incr batch_slots
+      in
+      let b1, b1_maps = batch_lane 1 in
+      check_batch_slot 1 b1 0;
+      for slot = 0 to Array.length ref_maps - 1 do
+        if dump_map b1_maps.(slot) <> dump_map ref_maps.(slot) then
+          fail_prog prog "batch(1) map %d state diverged (trial %d)" slot trial
+      done;
+      let eligible =
+        let maps = fresh_maps () in
+        let loaded =
+          Loaded.link ~rng:(Kml.Rng.create rng_seed) ~proofs:report.Verifier.proof
+            ~facts:report.Verifier.facts ~store ~helpers ~maps ~models prog
+        in
+        Jit.batch_eligible (Jit.compile loaded)
+      in
+      if eligible then begin
+        (* SoA-eligible programs touch no maps, so only ctxts/columns are
+           compared; identical inputs must give identical slots. *)
+        let b3, _ = batch_lane 3 in
+        for s = 0 to 2 do
+          check_batch_slot 3 b3 s
+        done
+      end
   done;
-  { trials; accepted = !accepted; rejected = !rejected; claims_checked = !claims }
+  { trials;
+    accepted = !accepted;
+    rejected = !rejected;
+    claims_checked = !claims;
+    batch_slots_checked = !batch_slots }
 
 (* ------------------------------------------------------------------ *)
 (* Wire-format robustness fuzzer.                                      *)

@@ -1,22 +1,29 @@
-(** Soundness fuzzer for {!Absint} and the proof-eliding engines.
+(** Soundness fuzzer for {!Absint}, the proof-eliding engines and the
+    batch path.
 
     Generates random (mostly verifier-acceptable) programs and, for each
-    accepted one, runs three executions on identical inputs:
+    accepted one, runs four executions on identical inputs:
 
     + {!Interp} on a {!Loaded} instance carrying the verifier's proof
       array (guards elided where proven);
-    + {!Jit} on another proof-carrying instance;
+    + {!Jit} on an instance carrying the proofs {e and} the per-pc
+      interval facts, so compilation is proof-specialized (constant
+      folding, strength reduction, dead-arm elimination, fast [Rep]);
+    + {!Vm.invoke_batch}: a batch of 1 for every program (exercising the
+      per-slot fallback on non-batchable programs), plus a batch of 3
+      identical slots on SoA-eligible programs, each slot checked
+      independently;
     + an independent reference interpreter defined here, with every
       runtime guard forced on, which additionally asserts at each
       executed instruction that (a) {!Absint} claimed the pc reachable
       and (b) every concrete register value lies in its claimed
       interval.
 
-    All three must agree on result, step count, privacy denials, final
-    context contents and final map contents, and the concrete step count
-    must stay within the report's [worst_case_steps].  Any discrepancy
-    raises {!Unsound} with the offending program disassembled into the
-    message.
+    All lanes must agree on result, step count, privacy denials, final
+    context contents and (where touched) final map contents, and the
+    concrete step count must stay within the report's
+    [worst_case_steps].  Any discrepancy raises {!Unsound} with the
+    offending program disassembled into the message.
 
     Driven by [test/test_absint.ml] (5000 programs) and the [make lint]
     smoke via [rkdctl absint-fuzz]. *)
@@ -26,6 +33,9 @@ type stats = {
   accepted : int;   (** programs that passed {!Verifier.check} and were executed *)
   rejected : int;   (** programs the verifier rejected (skipped, also fine) *)
   claims_checked : int;  (** per-step interval memberships asserted *)
+  batch_slots_checked : int;
+      (** batch-lane slots compared against the reference (>= 1 per
+          accepted program; 4 when the program admits the SoA kernel) *)
 }
 
 exception Unsound of string

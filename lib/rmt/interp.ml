@@ -22,6 +22,18 @@ let trap_message = function
   | Trap_injected -> "injected fault"
   | Trap_foreign msg -> "foreign failure: " ^ msg
 
+(* Engine exceptions normalized to a trap class; anything unrecognized
+   (Out_of_memory, Assert_failure, ...) is a programming error and must
+   propagate unchanged — callers re-raise on [None]. *)
+let trap_of_exn = function
+  | Trap trap -> Some trap
+  | Fuel_exhausted -> Some Trap_fuel
+  | Division_by_zero -> Some Trap_div
+  | Invalid_argument msg -> Some (Trap_bounds msg)
+  | Failure msg -> Some (Trap_foreign msg)
+  | Stack_overflow -> Some (Trap_foreign "stack overflow")
+  | _ -> None
+
 type outcome = { result : int; steps : int; privacy_denied : int }
 
 (* Engine totals, bumped once per invocation (never per step) so the

@@ -25,6 +25,13 @@ exception Trap of trap
 
 val trap_message : trap -> string
 
+val trap_of_exn : exn -> trap option
+(** Normalize any exception an engine can raise at runtime to its trap
+    class; [None] for exceptions that are programming errors
+    (Out_of_memory, Assert_failure, ...) — callers must re-raise those.
+    {!Vm.invoke} and the per-slot containment in {!Vm.invoke_batch} are
+    the intended users. *)
+
 type outcome = {
   result : int;          (** r0 at [Exit], post-guardrail *)
   steps : int;           (** dynamic instructions executed (incl. tail-callees) *)

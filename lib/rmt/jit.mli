@@ -10,6 +10,16 @@
     identical to {!Interp} (the test suite checks this differentially on
     random verified programs).
 
+    When the loaded instance carries per-pc interval facts
+    ({!Loaded.link} [?facts], from {!Verifier.check}), compilation is
+    additionally {b proof-specialized} ({!Specialize}): constants are
+    folded, multiplies/divides/mods by powers of two become shifts and
+    masks, interval-infeasible branch arms compile to unconditional
+    jumps, and straight-line [Rep] bodies iterate without the
+    per-iteration early-exit check.  Every rewrite preserves observable
+    semantics {e and} exact dynamic step counts, so the differential
+    tests against {!Interp} still hold bit-for-bit.
+
     Steady-state execution is allocation-free: the run state, helper
     environment, helper/model argument buffers and Mat_mul snapshot scratch
     are all preallocated (per {!compile} / per {!Loaded.t}).  One compiled
@@ -41,3 +51,39 @@ val compiled_units : compiled -> int
     share or evict each other's units. *)
 
 val loaded : compiled -> Loaded.t
+
+val specialization : compiled -> Specialize.t
+(** The proof-specialization plan the root unit was compiled against
+    (the identity plan when the instance was linked without facts). *)
+
+val specialized_sites : compiled -> int
+(** Total interval-fact rewrites in the root unit's plan (folds +
+    strength reductions + dead arms + fast Reps); [0] without facts. *)
+
+(** {2 Batched invocation}
+
+    [exec_batch] runs every live slot of a {!Batch.t} through the root
+    program with one structure-of-arrays kernel: execution is
+    instruction-major over the batch, so instruction dispatch, model
+    weights ({!Kml.Quantize.Qmlp} tiles, flat decision trees) and
+    constant matrices are touched once per instruction instead of once
+    per slot.
+
+    A program is SoA-batchable when the kernel is observationally
+    per-slot-identical to running the slots sequentially: no
+    data-dependent control flow ([Jmp]/[Jcond]/[Jcond_imm]), no shared
+    cross-slot mutable state ([Map_*]/[Ring_push]/[Vec_ld_map]/[Call]/
+    [Tail_call]), and every operand statically in bounds — so the kernel
+    is also statically trap-free.  {!Vm.invoke_batch} transparently falls
+    back to the per-slot scalar path for everything else. *)
+
+val batch_eligible : compiled -> bool
+(** Whether the root program admits the SoA kernel (checked statically;
+    cached after the first call). *)
+
+val exec_batch : compiled -> Batch.t -> bool
+(** Run slots [0 .. b.n - 1] through the root program.  Returns [false]
+    (and leaves the batch untouched) when the program is not batchable;
+    on [true], [results]/[steps]/[denied] are filled per slot and
+    [traps] is all [None].  Steady-state allocation-free once the
+    kernel's capacity covers [b.n] (buffers grow geometrically). *)

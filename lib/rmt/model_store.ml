@@ -5,10 +5,18 @@ type model =
   | Fn of { n_features : int; cost : Kml.Model_cost.t; f : int array -> int }
 
 type slot = { name : string; mutable model : model; mutable invocations : int }
-type t = { mutable slots : slot array; mutable len : int }
+
+type t = {
+  mutable slots : slot array;
+  mutable len : int;
+  mutable row_scratch : int array;
+      (* per-slot feature row for batching models without a native batch
+         path (Svm/Fn); sized to the last arity used *)
+}
+
 type handle = int
 
-let create () = { slots = [||]; len = 0 }
+let create () = { slots = [||]; len = 0; row_scratch = [||] }
 
 let n_features = function
   | Tree tree -> Kml.Decision_tree.n_features tree
@@ -79,6 +87,42 @@ let predict t h features =
     else if Fault.fire Fault.Model_garbage then Fault.garbage ()
     else r
   else r
+
+(* Exactly [nf] wide — the scalar predictors arity-check their argument. *)
+let row_scratch t nf =
+  if Array.length t.row_scratch <> nf then t.row_scratch <- Array.make nf 0;
+  t.row_scratch
+
+let predict_batch t h ~features ~n ~out =
+  check t h "predict_batch";
+  let slot = t.slots.(h) in
+  let nf = n_features slot.model in
+  if n < 0 || Array.length features < n * nf then
+    invalid_arg "Model_store.predict_batch: feature buffer too small";
+  if Array.length out < n then invalid_arg "Model_store.predict_batch: output buffer too small";
+  slot.invocations <- slot.invocations + n;
+  (match slot.model with
+   | Tree tree -> Kml.Decision_tree.predict_batch tree ~features ~n ~out
+   | Qmlp q -> Kml.Quantize.Qmlp.predict_batch q ~features ~n ~out
+   | Svm svm ->
+     let row = row_scratch t nf in
+     for s = 0 to n - 1 do
+       Array.blit features (s * nf) row 0 nf;
+       out.(s) <- Kml.Linear.Svm.predict svm row
+     done
+   | Fn { f; _ } ->
+     let row = row_scratch t nf in
+     for s = 0 to n - 1 do
+       Array.blit features (s * nf) row 0 nf;
+       out.(s) <- f row
+     done);
+  (* Same fault seam as [predict], applied per slot so injection
+     campaigns see every batched inference as a separate opportunity. *)
+  if Fault.active () then
+    for s = 0 to n - 1 do
+      if Fault.fire Fault.Model_extreme then out.(s) <- Fault.extreme ()
+      else if Fault.fire Fault.Model_garbage then out.(s) <- Fault.garbage ()
+    done
 
 let invocations t h =
   check t h "invocations";

@@ -31,5 +31,14 @@ val cost : model -> Kml.Model_cost.t
 val predict : t -> handle -> int array -> int
 (** Raises [Invalid_argument] on arity mismatch. *)
 
+val predict_batch : t -> handle -> features:int array -> n:int -> out:int array -> unit
+(** Batched [predict]: slot [s]'s features are the row
+    [features.(s * arity) ..], its class lands in [out.(s)] — per slot
+    bit-identical to [predict] (including the per-slot fault-injection
+    seam).  Trees and quantized MLPs use native batch kernels so model
+    weights amortize across slots; Svm/Fn models fall back to a per-slot
+    loop over a reused row buffer.  The invocation counter advances by
+    [n]. *)
+
 val invocations : t -> handle -> int
 val count : t -> int

@@ -146,6 +146,71 @@ let fire_protected s p ~ctxt ~now =
       Array.iter (fun vm -> ignore (Vm.rollback vm)) p.guard_vms;
       serve_fallback p ~ctxt
 
+(* ------------------------------------------------------------------ *)
+(* Batched firing (DESIGN.md section 13)                               *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch_batch s b ~now =
+  if Obs.enabled () then Obs.Trace.set_current_hook s.hook_id;
+  List.iter (fun table -> Table.lookup_batch table b ~now) s.tables;
+  if Obs.enabled () then Obs.Trace.set_current_hook (-1)
+
+(* Serve the stock heuristic for one slot; the trap marker (if any) is
+   kept so callers can still see that the learned path failed there. *)
+let fallback_slot p (b : Batch.t) s =
+  p.fallback_served <- p.fallback_served + 1;
+  Obs.Counter.incr c_fallback;
+  b.Batch.results.(s) <- p.fallback b.Batch.ctxts.(s)
+
+let rec any_trap (b : Batch.t) s n =
+  s < n && (b.Batch.traps.(s) != None || any_trap b (s + 1) n)
+
+(* Protected batch firing: the breaker grants one admission decision per
+   batch (a batch is one arrival at the hook), then failure containment
+   is per slot — a slot whose program trapped is served the stock
+   heuristic and marked in [traps], the other slots keep their learned
+   results, and the breaker records a single failure for the batch (plus
+   a grace-window rollback of the hook's programs, as in the scalar
+   path). *)
+let fire_protected_batch s p b ~now =
+  let now_ns = now () in
+  if not (Breaker.allow p.breaker ~now:now_ns) then
+    for slot = 0 to b.Batch.n - 1 do
+      b.Batch.traps.(slot) <- None;
+      b.Batch.steps.(slot) <- 0;
+      b.Batch.denied.(slot) <- 0;
+      fallback_slot p b slot
+    done
+  else begin
+    dispatch_batch s b ~now;
+    if any_trap b 0 b.Batch.n then begin
+      Obs.Counter.incr c_trap_fallback;
+      Breaker.record_failure p.breaker ~now:now_ns;
+      Array.iter (fun vm -> ignore (Vm.rollback vm : bool)) p.guard_vms;
+      for slot = 0 to b.Batch.n - 1 do
+        if b.Batch.traps.(slot) != None then fallback_slot p b slot
+      done
+    end
+    else observe_health p ~now_ns
+  end
+
+let fire_batch t ~hook b ~now =
+  match Hashtbl.find_opt t.hooks hook with
+  | None -> false
+  | Some s ->
+    if s.tables = [] then false
+    else begin
+      let n = b.Batch.n in
+      if n > 0 then begin
+        s.firings <- s.firings + n;
+        Obs.Counter.add c_firings n;
+        match s.protection with
+        | Some p -> fire_protected_batch s p b ~now
+        | None -> dispatch_batch s b ~now
+      end;
+      true
+    end
+
 let fire_all t ~hook ~ctxt ~now =
   match Hashtbl.find_opt t.hooks hook with
   | None -> []

@@ -35,6 +35,21 @@ val fire_all : t -> hook:string -> ctxt:Ctxt.t -> now:(unit -> int) -> int list
 (** All action results, in table order.  On a protected hook serving its
     fallback, the single-element list [[fallback ctxt]]. *)
 
+val fire_batch : t -> hook:string -> Batch.t -> now:(unit -> int) -> bool
+(** Batched {!fire}: run every attached table over the whole batch (in
+    attach order, via {!Table.lookup_batch}); the last table's results
+    stay in the batch columns, exactly as scalar [fire] returns the last
+    table's action result.  [false] when nothing is attached (columns
+    untouched).  [firings] advances by [b.n] — each slot is one event.
+
+    On a protected hook the breaker grants one admission decision per
+    batch; failure containment is then per slot: a slot whose program
+    trapped keeps its [traps] marker and is served the stock fallback,
+    the remaining slots keep their learned results, and the breaker
+    records one failure for the batch (rolling back any [vms] still in a
+    canary grace window).  While the breaker is open every slot gets the
+    fallback.  Never raises for a contained engine fault. *)
+
 (** {2 Failsafe protection} *)
 
 val protect :

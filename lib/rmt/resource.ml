@@ -1,0 +1,89 @@
+type t = {
+  program : string;
+  steps : int;
+  scratch_words : int;
+  const_words : int;
+  table_slots : int;
+  folded : int;
+  reduced : int;
+  dead_arms : int;
+  fast_reps : int;
+  elided_guards : int;
+}
+
+type budget = { max_steps : int; max_scratch_words : int; max_table_slots : int }
+
+let default_budget =
+  { max_steps = Verifier.default_limits.Verifier.max_steps;
+    max_scratch_words = Verifier.default_limits.Verifier.max_vmem;
+    max_table_slots = 16 }
+
+let of_report (report : Verifier.report) (prog : Program.t) =
+  let spec =
+    if Array.length report.Verifier.facts = Array.length prog.Program.code then
+      Specialize.plan ~facts:report.Verifier.facts prog
+    else Specialize.identity prog
+  in
+  let elided_guards =
+    Array.fold_left
+      (fun acc p ->
+        if Absint.Proof.key_dense p || Absint.Proof.key_nonneg p
+           || Absint.Proof.window_in_bounds p
+        then acc + 1
+        else acc)
+      0 report.Verifier.proof
+  in
+  { program = prog.Program.name;
+    steps = report.Verifier.worst_case_steps;
+    scratch_words = prog.Program.vmem_size;
+    const_words =
+      Array.fold_left
+        (fun acc c -> acc + (c.Program.rows * c.Program.cols))
+        0 prog.Program.consts;
+    table_slots =
+      Array.length prog.Program.map_specs
+      + Array.length prog.Program.model_arity
+      + prog.Program.n_prog_slots;
+    folded = spec.Specialize.folded;
+    reduced = spec.Specialize.reduced;
+    dead_arms = spec.Specialize.dead_arms;
+    fast_reps = spec.Specialize.fast_reps;
+    elided_guards }
+
+let specialized_sites t = t.folded + t.reduced + t.dead_arms + t.fast_reps
+
+let within t b =
+  t.steps <= b.max_steps
+  && t.scratch_words <= b.max_scratch_words
+  && t.table_slots <= b.max_table_slots
+
+let violations t b =
+  let over what used allowed acc =
+    if used > allowed then
+      Printf.sprintf "%s: %d exceeds budget %d" what used allowed :: acc
+    else acc
+  in
+  List.rev
+    (over "steps" t.steps b.max_steps
+       (over "scratch words" t.scratch_words b.max_scratch_words
+          (over "table slots" t.table_slots b.max_table_slots [])))
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>resource report: %s@,\
+    \  worst-case steps   %d@,\
+    \  scratch words      %d@,\
+    \  constant words     %d@,\
+    \  table slots        %d@,\
+    \  specialized sites  %d (%d folded, %d reduced, %d dead arms, %d fast reps)@,\
+    \  elided guards      %d@]"
+    t.program t.steps t.scratch_words t.const_words t.table_slots (specialized_sites t)
+    t.folded t.reduced t.dead_arms t.fast_reps t.elided_guards
+
+let to_json t =
+  Printf.sprintf
+    "{\"program\":%S,\"steps\":%d,\"scratch_words\":%d,\"const_words\":%d,\
+     \"table_slots\":%d,\"folded\":%d,\"reduced\":%d,\"dead_arms\":%d,\
+     \"fast_reps\":%d,\"specialized_sites\":%d,\"elided_guards\":%d}"
+    t.program t.steps t.scratch_words t.const_words t.table_slots t.folded t.reduced
+    t.dead_arms t.fast_reps (specialized_sites t) t.elided_guards

@@ -1,0 +1,146 @@
+type branch = B_keep | B_always | B_never
+
+type t = {
+  effective : Insn.t array;
+  branch : branch array;
+  fast_rep : bool array;
+  folded : int;
+  reduced : int;
+  dead_arms : int;
+  fast_reps : int;
+}
+
+let identity (prog : Program.t) =
+  let n = Array.length prog.code in
+  { effective = Array.copy prog.code;
+    branch = Array.make (Stdlib.max 1 n) B_keep;
+    fast_rep = Array.make (Stdlib.max 1 n) false;
+    folded = 0;
+    reduced = 0;
+    dead_arms = 0;
+    fast_reps = 0 }
+
+(* log2 of a positive power of two, or -1. *)
+let pow2_exp v =
+  if v > 0 && v land (v - 1) = 0 then
+    let rec go k v = if v = 1 then k else go (k + 1) (v lsr 1) in
+    go 0 v
+  else -1
+
+(* Can the body range [lo, hi] leave the enclosing Rep early?  Only Exit
+   and Tail_call escape a compiled range; local jumps stay inside it. *)
+let rec body_escapes code lo hi =
+  lo <= hi
+  && (match code.(lo) with
+      | Insn.Exit | Insn.Tail_call _ -> true
+      | _ -> body_escapes code (lo + 1) hi)
+
+(* Rewrite a reg-reg ALU whose right operand is pinned to [c].  The
+   immediate forms below are exactly equivalent under eval_alu's total
+   semantics:
+   - [Mul] by 2^k is [Shl k] (both wrap modulo the native int width;
+     k <= 62 so the shift mask in eval_alu is a no-op);
+   - for a proven-nonnegative left operand, [Div] by 2^k is [Shr k]
+     (truncating division = arithmetic shift for a >= 0) and [Mod] by
+     2^k is [And (2^k - 1)];
+   - anything else keeps the operation but loses the register load. *)
+let reduce_with_const op rd a_nonneg c =
+  let k = pow2_exp c in
+  match op with
+  | Insn.Mul when k >= 0 -> Insn.Alu_imm (Insn.Shl, rd, k)
+  | Insn.Div when k >= 0 && a_nonneg -> Insn.Alu_imm (Insn.Shr, rd, k)
+  | Insn.Mod when k >= 0 && a_nonneg -> Insn.Alu_imm (Insn.And, rd, c - 1)
+  | _ -> Insn.Alu_imm (op, rd, c)
+
+let plan ~(facts : Absint.fact option array) (prog : Program.t) =
+  let code = prog.code in
+  let n = Array.length code in
+  if Array.length facts <> n || n = 0 then identity prog
+  else begin
+    let effective = Array.copy code in
+    let branch = Array.make n B_keep in
+    let fast_rep = Array.make n false in
+    let folded = ref 0 and reduced = ref 0 and dead_arms = ref 0 and fast_reps = ref 0 in
+    let module I = Absint.Interval in
+    for pc = 0 to n - 1 do
+      match facts.(pc) with
+      | None -> () (* unreachable: never executed, compile as written *)
+      | Some fact ->
+        let regs = fact.Absint.regs in
+        (match code.(pc) with
+         | Insn.Mov (rd, rs) ->
+           (match I.const_value regs.(rs) with
+            | Some v ->
+              effective.(pc) <- Insn.Ld_imm (rd, v);
+              incr folded
+            | None -> ())
+         | Insn.Alu (op, rd, rs) ->
+           let a = regs.(rd) and b = regs.(rs) in
+           (match I.const_value a, I.const_value b with
+            | Some va, Some vb ->
+              effective.(pc) <- Insn.Ld_imm (rd, Insn.eval_alu op va vb);
+              incr folded
+            | _, Some vb ->
+              effective.(pc) <- reduce_with_const op rd (I.nonneg a) vb;
+              incr reduced
+            | _, None -> ())
+         | Insn.Alu_imm (op, rd, imm) ->
+           let a = regs.(rd) in
+           (match I.const_value a with
+            | Some va ->
+              effective.(pc) <- Insn.Ld_imm (rd, Insn.eval_alu op va imm);
+              incr folded
+            | None ->
+              let r = reduce_with_const op rd (I.nonneg a) imm in
+              if r <> Insn.Alu_imm (op, rd, imm) then begin
+                effective.(pc) <- r;
+                incr reduced
+              end)
+         | Insn.Jcond (c, ra, rb, _) ->
+           let a = regs.(ra) and b = regs.(rb) in
+           if I.refine c a b = None then begin
+             branch.(pc) <- B_never;
+             incr dead_arms
+           end
+           else if I.refine (I.negate_cond c) a b = None then begin
+             branch.(pc) <- B_always;
+             incr dead_arms
+           end
+         | Insn.Jcond_imm (c, ra, imm, _) ->
+           let a = regs.(ra) and b = I.const imm in
+           if I.refine c a b = None then begin
+             branch.(pc) <- B_never;
+             incr dead_arms
+           end
+           else if I.refine (I.negate_cond c) a b = None then begin
+             branch.(pc) <- B_always;
+             incr dead_arms
+           end
+         | Insn.Rep (_, body_len) ->
+           if body_len > 0 && pc + body_len < n
+              && not (body_escapes code (pc + 1) (pc + body_len))
+           then begin
+             fast_rep.(pc) <- true;
+             incr fast_reps
+           end
+         | Insn.Ld_imm _ | Insn.Ld_ctxt _ | Insn.Ld_ctxt_k _ | Insn.St_ctxt _
+         | Insn.St_ctxt_r _ | Insn.Map_lookup _ | Insn.Map_update _ | Insn.Map_delete _
+         | Insn.Ring_push _ | Insn.Jmp _ | Insn.Call _ | Insn.Call_ml _
+         | Insn.Vec_ld_ctxt _ | Insn.Vec_ld_map _ | Insn.Vec_st_reg _ | Insn.Vec_ld_reg _
+         | Insn.Vec_i2f _ | Insn.Mat_mul _ | Insn.Vec_add_const _ | Insn.Vec_relu _
+         | Insn.Vec_argmax _ | Insn.Tail_call _ | Insn.Exit -> ())
+    done;
+    { effective;
+      branch;
+      fast_rep;
+      folded = !folded;
+      reduced = !reduced;
+      dead_arms = !dead_arms;
+      fast_reps = !fast_reps }
+  end
+
+let specialized_sites t = t.folded + t.reduced + t.dead_arms + t.fast_reps
+
+let pp fmt t =
+  Format.fprintf fmt "folded=%d reduced=%d dead_arms=%d fast_reps=%d" t.folded t.reduced
+    t.dead_arms t.fast_reps

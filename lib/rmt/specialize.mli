@@ -1,0 +1,57 @@
+(** Proof-specialized codegen planning (DESIGN.md section 13).
+
+    [plan] consumes the per-pc interval facts produced by {!Absint} and
+    decides, per instruction, which rewrite the JIT may apply beyond the
+    guard elision already driven by {!Absint.Proof}:
+
+    - {b constant folding}: an ALU/Mov whose inputs are pinned to single
+      values rewrites to a [Ld_imm] of the value computed at compile time
+      with {!Insn.eval_alu}'s exact wrap-around semantics;
+    - {b strength reduction}: a reg-reg ALU whose right operand is pinned
+      rewrites to the immediate form; multiply by a power of two becomes
+      a shift, and divide/modulo by a power of two become shift/mask when
+      the left operand is proven non-negative (where truncating division
+      and arithmetic shift agree);
+    - {b dead-arm elimination}: a conditional branch whose comparison is
+      infeasible (or whose negation is) loses its untaken arm and
+      compiles to a fall-through (or an unconditional jump);
+    - {b [Rep] fast loops}: a body that can be proven never to leave the
+      loop early (no [Exit]/[Tail_call] in its range) iterates without
+      the per-iteration early-exit check.
+
+    Every rewrite preserves the observable semantics {e and the exact
+    dynamic step count} of the original instruction, so specialized code
+    stays bit- and step-identical to {!Interp} — the differential fuzzer
+    checks this.  A plan built without facts (or with a fact array of the
+    wrong length) is the identity: guard-elision-only compilation. *)
+
+type branch =
+  | B_keep    (** compile the conditional as written *)
+  | B_always  (** proven taken: unconditional jump to the target *)
+  | B_never   (** proven untaken: unconditional fall-through *)
+
+type t = {
+  effective : Insn.t array;
+      (** per-pc instruction to compile; differs from the program's code
+          only at folded / strength-reduced [Mov]/[Alu]/[Alu_imm] sites,
+          and the replacement is always itself register-only (so fused
+          straight-line blocks still fuse) *)
+  branch : branch array;  (** per-pc; [B_keep] at non-branch sites *)
+  fast_rep : bool array;  (** per-pc; true at [Rep]s with no-early-exit bodies *)
+  folded : int;           (** sites rewritten to a compile-time constant *)
+  reduced : int;          (** sites strength-reduced (imm form / shift / mask) *)
+  dead_arms : int;        (** branches with a statically dead arm *)
+  fast_reps : int;        (** [Rep] sites iterating without the exit check *)
+}
+
+val identity : Program.t -> t
+(** No facts: every instruction compiles as written. *)
+
+val plan : facts:Absint.fact option array -> Program.t -> t
+(** [facts] as stored on {!Loaded.t}: one entry per pc ([None] =
+    unreachable).  An empty or wrong-length array yields {!identity}. *)
+
+val specialized_sites : t -> int
+(** [folded + reduced + dead_arms + fast_reps]. *)
+
+val pp : Format.formatter -> t -> unit

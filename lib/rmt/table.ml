@@ -35,6 +35,7 @@ type t = {
   index : (int, entry list) Hashtbl.t; (* bucket lists sorted best-first *)
   mutable group_masks : int array; (* distinct Eq-position bitmasks in the index *)
   fields : int array; (* per-lookup scratch; one slot per match key *)
+  mutable entry_scratch : entry array; (* per-slot resolved entries for lookup_batch *)
   mutable next_id : int;
   mutable next_seq : int;
   mutable total_hits : int;
@@ -59,6 +60,7 @@ let create ~name ~match_keys ~default =
     index = Hashtbl.create 16;
     group_masks = [||];
     fields = Array.make (Array.length match_keys) 0;
+    entry_scratch = [||];
     next_id = 0;
     next_seq = 0;
     total_hits = 0;
@@ -245,6 +247,96 @@ let lookup t ~ctxt ~now =
   else begin
     e.hits <- e.hits + 1;
     run_action e.action ~ctxt ~now
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Batched lookup (DESIGN.md section 13)                               *)
+(* ------------------------------------------------------------------ *)
+
+let entry_scratch t n =
+  if Array.length t.entry_scratch < n then
+    t.entry_scratch <-
+      Array.make (Stdlib.max 8 (Stdlib.max n (2 * Array.length t.entry_scratch))) no_entry;
+  t.entry_scratch
+
+(* Top level (not closures) so the uniform-action probe allocates nothing. *)
+let slot_action t (entries : entry array) s =
+  let e = entries.(s) in
+  if e == no_entry then t.default else e.action
+
+let rec uniform_run_from t entries vm s n =
+  s >= n
+  ||
+  match slot_action t entries s with
+  | Run vm' -> vm' == vm && uniform_run_from t entries vm (s + 1) n
+  | Const _ | Host _ -> false
+
+(* Batched lookup: match resolution stays per slot (field reads + index
+   probes are cheap), and when every slot resolves to the same [Run]
+   action — the common case for learned tables, where one installed
+   program serves a wildcard entry or the default — the whole batch is
+   dispatched through one {!Vm.invoke_batch}, so the program's model
+   inference and instruction dispatch amortize across the events.  Mixed
+   batches fall back to per-slot action dispatch with traps contained
+   into the slot columns; [Host] actions are foreign code and their
+   exceptions propagate, as in scalar [lookup].  Hit accounting (table,
+   entry, default) is identical to [n] scalar lookups. *)
+let lookup_batch t (b : Batch.t) ~now =
+  let n = b.Batch.n in
+  if n > 0 then begin
+    t.total_hits <- t.total_hits + n;
+    Obs.Counter.add c_lookups n;
+    let entries = entry_scratch t n in
+    let faults = Fault.active () in
+    for s = 0 to n - 1 do
+      let e =
+        if faults && Fault.fire Fault.Table_miss then no_entry
+        else find_entry t (read_fields t ~ctxt:b.Batch.ctxts.(s))
+      in
+      entries.(s) <- e;
+      if e == no_entry then begin
+        t.default_hits <- t.default_hits + 1;
+        Obs.Counter.incr c_default_hits
+      end
+      else e.hits <- e.hits + 1
+    done;
+    let uniform =
+      match slot_action t entries 0 with
+      | Run vm -> uniform_run_from t entries vm 1 n
+      | Const _ | Host _ -> false
+    in
+    if uniform then begin
+      match slot_action t entries 0 with
+      | Run vm -> Vm.invoke_batch vm b ~now
+      | Const _ | Host _ -> assert false
+    end
+    else
+      for s = 0 to n - 1 do
+        let ctxt = b.Batch.ctxts.(s) in
+        match slot_action t entries s with
+        | Const v ->
+          b.Batch.results.(s) <- v;
+          b.Batch.steps.(s) <- 0;
+          b.Batch.denied.(s) <- 0;
+          b.Batch.traps.(s) <- None
+        | Host f ->
+          b.Batch.results.(s) <- f ctxt;
+          b.Batch.steps.(s) <- 0;
+          b.Batch.denied.(s) <- 0;
+          b.Batch.traps.(s) <- None
+        | Run vm ->
+          (match Vm.invoke vm ~ctxt ~now with
+           | o ->
+             b.Batch.results.(s) <- o.Interp.result;
+             b.Batch.steps.(s) <- o.Interp.steps;
+             b.Batch.denied.(s) <- o.Interp.privacy_denied;
+             b.Batch.traps.(s) <- None
+           | exception Interp.Trap trap ->
+             b.Batch.results.(s) <- 0;
+             b.Batch.steps.(s) <- 0;
+             b.Batch.denied.(s) <- 0;
+             b.Batch.traps.(s) <- Some trap)
+      done
   end
 
 let lookup_entry t ~ctxt =

@@ -45,6 +45,16 @@ val entry_count : t -> int
 val lookup : t -> ctxt:Ctxt.t -> now:(unit -> int) -> int
 (** Match and run the action; falls back to the default action. *)
 
+val lookup_batch : t -> Batch.t -> now:(unit -> int) -> unit
+(** Batched {!lookup} over slots [0 .. b.n - 1]: matching is resolved per
+    slot, then — when every slot lands on the same [Run] action (the
+    common case for learned tables) — the whole batch runs through one
+    {!Vm.invoke_batch}, amortizing model inference and dispatch.  Mixed
+    batches dispatch per slot; engine traps are contained into the slot's
+    [traps] column either way (exceptions from [Host] actions propagate,
+    as in scalar lookup).  Hit accounting is identical to [n] scalar
+    lookups. *)
+
 val lookup_entry : t -> ctxt:Ctxt.t -> entry_id option
 (** Which entry would fire, without running its action. *)
 

@@ -22,6 +22,7 @@ type report = {
   model_slots_used : int list;
   helper_ids_used : int list;
   proof : Absint.Proof.t array;
+  facts : Absint.fact option array;
 }
 
 type violation =
@@ -389,7 +390,8 @@ let run_checks ~limits ~budget ~strict ~helpers ~model_costs (prog : Program.t) 
     uses_privacy = !uses_privacy;
     model_slots_used = List.sort compare !model_slots;
     helper_ids_used = List.sort compare !helper_ids;
-    proof = ai.Absint.proofs }
+    proof = ai.Absint.proofs;
+    facts = ai.Absint.facts }
 
 let check ?(limits = default_limits) ?(budget = Kml.Model_cost.default_budget)
     ?(strict = false) ~helpers ~model_costs prog =

@@ -47,6 +47,12 @@ type report = {
       (** per-pc facts from {!Absint.analyze} — {!Interp} and {!Jit}
           consult these to elide runtime bounds/taint guards on proven
           instructions (see {!Loaded.link}) *)
+  facts : Absint.fact option array;
+      (** per-pc interval facts from the same analysis — the JIT
+          specializes code against these (constant folding, strength
+          reduction, dead-arm elimination; see {!Specialize}), and
+          {!Resource.of_report} derives the compile-time resource
+          report from them *)
 }
 
 type violation =

@@ -160,29 +160,23 @@ let guardrail_violations_now t =
 (* Trap containment (DESIGN.md section 12)                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Engine exceptions normalized to a trap class; anything unrecognized
-   (Out_of_memory, Assert_failure, ...) is a programming error and
-   propagates unchanged. *)
-let trap_of_exn = function
-  | Interp.Trap trap -> Some trap
-  | Interp.Fuel_exhausted -> Some Interp.Trap_fuel
-  | Division_by_zero -> Some Interp.Trap_div
-  | Invalid_argument msg -> Some (Interp.Trap_bounds msg)
-  | Failure msg -> Some (Interp.Trap_foreign msg)
-  | Stack_overflow -> Some (Interp.Trap_foreign "stack overflow")
-  | _ -> None
+(* Exception normalization lives in {!Interp.trap_of_exn}; the policy on
+   a recognized trap is here.  Accounting — trap counters plus rolling
+   back a promotion still inside its grace window, so the incumbent
+   heuristic-vetted program serves the next invocation — is shared
+   between the raising scalar path and the per-slot containing batch
+   path. *)
+let record_trap t =
+  t.traps <- t.traps + 1;
+  Obs.Counter.incr c_traps;
+  match t.grace with Some _ -> ignore (rollback t : bool) | None -> ()
 
-(* Called on the cold path, with the engine already unwound.  A trap
-   during the post-promotion grace window rolls the promotion back before
-   re-raising, so the incumbent heuristic-vetted program serves the next
-   invocation. *)
+(* Called on the cold path, with the engine already unwound. *)
 let contain_trap t exn =
-  match trap_of_exn exn with
+  match Interp.trap_of_exn exn with
   | None -> raise exn
   | Some trap ->
-    t.traps <- t.traps + 1;
-    Obs.Counter.incr c_traps;
-    (match t.grace with Some _ -> ignore (rollback t) | None -> ());
+    record_trap t;
     raise (Interp.Trap trap)
 
 (* ------------------------------------------------------------------ *)
@@ -243,7 +237,7 @@ let shadow_step t c ~ctxt ~now incumbent_result =
         Obs.Counter.incr c_rolled_back
       end
   | exception exn ->
-    (match trap_of_exn exn with
+    (match Interp.trap_of_exn exn with
      | None -> raise exn
      | Some _ ->
        (* A trapping candidate is disqualified outright. *)
@@ -362,6 +356,97 @@ let invoke_result_checked t ~ctxt ~now =
   match invoke_result t ~ctxt ~now with
   | result -> Ok result
   | exception Interp.Trap trap -> Error trap
+
+(* ------------------------------------------------------------------ *)
+(* Batched invocation (DESIGN.md section 13)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One slot of the per-slot fallback loop.  Traps are contained in the
+   slot, never raised: the slot's columns record (0, 0, 0, Some trap) and
+   the remaining slots still run.  Trap accounting matches the scalar
+   path — including a grace-window rollback, after which the *rest of the
+   batch* runs the rolled-back incumbent (per-slot failsafe, not
+   batch-atomic). *)
+let run_slot_fallback t b s ~now =
+  let ctxt = b.Batch.ctxts.(s) in
+  match t.engine with
+  | Interpreted ->
+    (match Interp.run t.loaded ~ctxt ~now with
+     | o ->
+       b.Batch.results.(s) <- o.Interp.result;
+       b.Batch.steps.(s) <- o.Interp.steps;
+       b.Batch.denied.(s) <- o.Interp.privacy_denied;
+       b.Batch.traps.(s) <- None
+     | exception exn ->
+       (match Interp.trap_of_exn exn with
+        | None -> raise exn
+        | Some trap ->
+          record_trap t;
+          b.Batch.results.(s) <- 0;
+          b.Batch.steps.(s) <- 0;
+          b.Batch.denied.(s) <- 0;
+          b.Batch.traps.(s) <- Some trap))
+  | Jit_compiled ->
+    let c = compiled_for t in
+    (match Jit.exec c ~ctxt ~now with
+     | result ->
+       b.Batch.results.(s) <- result;
+       b.Batch.steps.(s) <- Jit.last_steps c;
+       b.Batch.denied.(s) <- Jit.last_privacy_denied c;
+       b.Batch.traps.(s) <- None
+     | exception exn ->
+       (match Interp.trap_of_exn exn with
+        | None -> raise exn
+        | Some trap ->
+          record_trap t;
+          b.Batch.results.(s) <- 0;
+          b.Batch.steps.(s) <- 0;
+          b.Batch.denied.(s) <- 0;
+          b.Batch.traps.(s) <- Some trap))
+
+let invoke_batch t b ~now =
+  let n = b.Batch.n in
+  if n > 0 then begin
+    let violations_before = guardrail_violations_now t in
+    (* The SoA kernel runs only on the JIT engine with fault injection
+       quiescent: under an active injection plan every per-slot seam
+       (Engine_trap, model faults) must get its own draw, which the
+       per-slot loop provides and an instruction-major kernel cannot. *)
+    let used_kernel =
+      (match t.engine with
+       | Jit_compiled when not (Fault.active ()) -> Jit.exec_batch (compiled_for t) b
+       | Interpreted | Jit_compiled -> false)
+    in
+    if not used_kernel then
+      for s = 0 to n - 1 do
+        run_slot_fallback t b s ~now
+      done;
+    (* Per-slot epilogue in slot order, exactly as a loop of scalar
+       invokes would run it: rate-limiter grant (inherently sequential
+       shared state), flight-recorder event, canary/grace staging step.
+       Trapped slots are skipped — they produced no result to limit,
+       record or shadow.  For the SoA kernel, guardrail violations cannot
+       be attributed to a single slot, so the trace flag means "some slot
+       of this batch". *)
+    for s = 0 to n - 1 do
+      if b.Batch.traps.(s) == None then begin
+        let result = b.Batch.results.(s) in
+        let result, throttled =
+          match limiter_for t ~now with
+          | None -> (result, false)
+          | Some bucket ->
+            let granted = Rate_limit.grant bucket ~now:(now ()) ~request:result in
+            (granted, granted < result)
+        in
+        b.Batch.results.(s) <- result;
+        if Obs.enabled () then
+          record t ~violations_before ~steps:b.Batch.steps.(s) ~result ~throttled
+            ~denied:b.Batch.denied.(s);
+        if t.canary != None || t.grace != None then
+          staging_step t ~ctxt:b.Batch.ctxts.(s) ~now result
+      end
+    done
+  end
 
 let jit_units t =
   match t.compiled with Some c -> Jit.compiled_units c | None -> 0

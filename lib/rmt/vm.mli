@@ -48,6 +48,25 @@ val invoke_result_checked :
   t -> ctxt:Ctxt.t -> now:(unit -> int) -> (int, Interp.trap) result
 (** {!invoke_result} with the trap surfaced as a value. *)
 
+val invoke_batch : t -> Batch.t -> now:(unit -> int) -> unit
+(** Run slots [0 .. b.n - 1] of the batch through the program and fill
+    the result columns.  On the JIT engine, programs without
+    data-dependent control flow or shared mutable state run through one
+    structure-of-arrays kernel ({!Jit.exec_batch}) so instruction
+    dispatch and model weights amortize over the batch; everything else
+    — and every batch under an active fault-injection plan, so per-slot
+    seams fire — falls back to a per-slot loop.  Either way a batch of 1
+    produces exactly {!invoke}'s [result]/[steps]/[privacy_denied].
+
+    Unlike {!invoke} this never raises for a program fault: a trap in
+    slot [k] is contained to that slot ([traps.(k)] set, columns zeroed)
+    and the remaining slots still run, with scalar-identical accounting
+    (trap counters, grace-window rollback — after which the rest of the
+    batch runs the rolled-back incumbent).  Rate-limiter grants, trace
+    events and canary/grace staging advance per completed slot in slot
+    order, as a loop of scalar invokes would.  Steady-state
+    allocation-free on both paths, telemetry on. *)
+
 (** {2 Transactional install: canary shadowing, promotion, rollback} *)
 
 val stage_canary :

@@ -20,4 +20,5 @@ let () =
          Test_more.suite;
          Test_par.suite;
          Test_obs.suite;
-         Test_failsafe.suite ])
+         Test_failsafe.suite;
+         Test_batch.suite ])

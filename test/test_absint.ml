@@ -363,7 +363,11 @@ let test_fuzz () =
   let stats = Fuzz.run ~seed:0xAB51 ~trials:5000 () in
   Alcotest.(check int) "all trials ran" 5000 stats.Fuzz.trials;
   Alcotest.(check bool) "most programs accepted and executed" true (stats.Fuzz.accepted > 4000);
-  Alcotest.(check bool) "interval claims exercised" true (stats.Fuzz.claims_checked > 1_000_000)
+  Alcotest.(check bool) "interval claims exercised" true (stats.Fuzz.claims_checked > 1_000_000);
+  (* The batch lane runs at least once per accepted program (batch of 1),
+     plus three more slots when the program admits the SoA kernel. *)
+  Alcotest.(check bool) "batch lane exercised" true
+    (stats.Fuzz.batch_slots_checked >= stats.Fuzz.accepted)
 
 let suite =
   [ ( "absint",
