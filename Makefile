@@ -1,5 +1,5 @@
 .PHONY: all build test bench table1 table2 ablations micro bench-json perf-check \
-        bench-macro perf-check-macro check lint chaos examples clean
+        bench-macro perf-check-macro bench-throughput check lint chaos examples clean
 
 all: build
 
@@ -40,6 +40,12 @@ bench-macro:
 perf-check-macro:
 	dune exec bench/main.exe perf-check-macro
 
+# Serving-layer throughput (DESIGN.md section 14): events/sec + p99
+# queue latency at 1/4/8 shard domains, gated on cross-width digest
+# equality.  Writes BENCH_throughput.json.
+bench-throughput:
+	dune exec bench/main.exe -- throughput
+
 # Fast static-analysis smoke (~2s): a short differential-fuzz run of the
 # abstract interpreter — proof-eliding engines vs an always-guarded
 # reference.  The full 5000-program run lives in the test suite.
@@ -49,12 +55,17 @@ lint:
 # Chaos soak (DESIGN.md section 12): 1000 seeded fault scenarios at pool
 # widths 1 and 4 — zero uncaught exceptions, every breaker re-closed
 # (rkdctl exits non-zero otherwise), and bit-identical digests across
-# the two widths.
+# the two widths.  Then the serving fleet (DESIGN.md section 14) at 2
+# and 4 shards under a 1% everything-fault plan: --soak replays the
+# trace twice and exits non-zero unless decision digests are
+# bit-identical and every tripped breaker re-closed.
 chaos:
 	@d1=$$(dune exec bin/rkdctl.exe -- chaos -n 1000 -d 1 | tee /dev/stderr | grep -o 'digest [0-9a-f]*'); \
 	d4=$$(dune exec bin/rkdctl.exe -- chaos -n 1000 -d 4 | tee /dev/stderr | grep -o 'digest [0-9a-f]*'); \
 	test -n "$$d1" && test "$$d1" = "$$d4" \
 	  || { echo "chaos: digest mismatch across pool widths ($$d1 vs $$d4)"; exit 1; }
+	RKD_FAULTS=all:0.01 dune exec bin/rkdctl.exe -- serve --soak --shards 2
+	RKD_FAULTS=all:0.01 dune exec bin/rkdctl.exe -- serve --soak --shards 4
 
 # The umbrella CI gate: warning-clean build, absint fuzz smoke, full test
 # suite, chaos soak, micro perf regression check.

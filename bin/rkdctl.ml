@@ -255,6 +255,156 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ scenarios_arg $ events_arg $ seed_arg $ domains_arg $ snapshot_arg)
 
+let serve_cmd =
+  let run tenants events shards producers pinned soak seed =
+    let config =
+      { Serve.Serving.default_config with
+        Serve.Serving.shards;
+        producers;
+        ring_capacity = 1024;
+        max_batch = 64 }
+    in
+    let hook = Serve.Shard.Datapath.hook in
+    (* One full pass of the multi-tenant trace through a fresh fleet;
+       inline (single-consumer) mode is fully deterministic — batch
+       boundaries, fault draws and clock reads replay exactly — so the
+       soak runs it twice and compares decision digests.  The clock is a
+       synthetic nanosecond tick per submitted event. *)
+    (* The module-init RKD_FAULTS plan owns one process-wide rng, so a
+       second run would continue the first run's draw stream.  Re-arm a
+       fresh plan with a run-independent seed before each pass: the soak
+       replay then sees the exact same fault schedule. *)
+    let fault_specs =
+      match Sys.getenv_opt "RKD_FAULTS" with
+      | None -> None
+      | Some spec ->
+        (match Rmt.Fault.parse_spec spec with Ok specs -> Some specs | Error _ -> None)
+    in
+    let run_once ~pinned =
+      (match fault_specs with
+       | Some specs -> Rmt.Fault.set_global ~seed:(seed lxor 0xfa17) specs
+       | None -> ());
+      let trace =
+        Ksim.Workload_mem.multi_tenant ~rng:(Kml.Rng.create seed) ~tenants
+          ~events_per_tenant:events ()
+      in
+      let fleet, dps = Serve.Serving.create_datapath ~config () in
+      if pinned then Serve.Serving.start fleet;
+      let tick = ref 0 in
+      List.iter
+        (fun a ->
+          incr tick;
+          Serve.Serving.set_now fleet (!tick * 1000);
+          let rec push () =
+            match
+              Serve.Serving.submit fleet ~producer:0 ~tenant:a.Ksim.Mem_sim.pid
+                ~page:a.Ksim.Mem_sim.page
+            with
+            | `Admitted -> ()
+            | `Throttled -> assert false
+            | `Backpressure ->
+              if pinned then Domain.cpu_relax ()
+              else ignore (Serve.Serving.drain fleet : int);
+              push ()
+          in
+          push ())
+        trace;
+      if pinned then Serve.Serving.stop fleet else Serve.Serving.drain_until_idle fleet;
+      (* Measure before the re-close probes below: their synthetic events
+         are served too and must not fold into the replayed digest. *)
+      let served = Serve.Serving.served fleet in
+      let digest = Serve.Serving.digest fleet in
+      (* Faults (e.g. RKD_FAULTS=all:...) may leave shard breakers open
+         at stream end; every one must re-close under fault-free probe
+         traffic within its backoff — the chaos invariant. *)
+      let reclosed =
+        Rmt.Fault.without (fun () ->
+            Array.for_all
+              (fun shard ->
+                match Serve.Shard.control shard with
+                | None -> true
+                | Some control ->
+                  (match Rmt.Pipeline.breaker (Rmt.Control.pipeline control) ~hook with
+                   | None -> true
+                   | Some breaker ->
+                     let rec probe k =
+                       Rmt.Breaker.state breaker = Rmt.Breaker.Closed
+                       ||
+                       if k = 0 then false
+                       else begin
+                         tick := !tick + 2_000_000;
+                         Serve.Serving.set_now fleet (!tick * 1000);
+                         for t = 0 to tenants - 1 do
+                           (match
+                              Serve.Serving.submit fleet ~producer:0 ~tenant:t ~page:t
+                            with
+                           | `Admitted | `Throttled | `Backpressure -> ());
+                           Serve.Serving.drain_until_idle fleet
+                         done;
+                         probe (k - 1)
+                       end
+                     in
+                     probe 64))
+              (Serve.Serving.shards fleet))
+      in
+      (served, digest, reclosed, Array.map Serve.Shard.Datapath.tenant_count dps)
+    in
+    let expected = tenants * events in
+    let served, digest, reclosed, per_shard = run_once ~pinned:(pinned && not soak) in
+    Format.printf "serve: %d events, %d tenants over %d shard%s (%s)@." served tenants shards
+      (if shards = 1 then "" else "s")
+      (if pinned && not soak then "pinned workers" else "inline");
+    Array.iteri (fun i n -> Format.printf "  shard %d: %d tenants@." i n) per_shard;
+    Format.printf "  digest %016x  breakers %s@." digest
+      (if reclosed then "re-closed" else "STUCK OPEN");
+    let ok = ref (served >= expected && reclosed) in
+    if soak then begin
+      let served2, digest2, reclosed2, _ = run_once ~pinned:false in
+      let same = digest2 = digest && served2 = served in
+      Format.printf "  soak replay: digest %016x %s@." digest2
+        (if same then "bit-identical" else "MISMATCH");
+      if (not same) || not reclosed2 then ok := false
+    end;
+    if !ok then 0 else 1
+  in
+  let tenants_arg =
+    Arg.(value & opt int 32 & info [ "tenants" ] ~docv:"N" ~doc:"Distinct tenants.")
+  in
+  let events_arg =
+    Arg.(value & opt int 200 & info [ "events" ] ~docv:"N" ~doc:"Events per tenant.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc:"Serving shards.")
+  in
+  let producers_arg =
+    Arg.(value & opt int 1 & info [ "producers" ] ~docv:"N" ~doc:"Producer rings per shard.")
+  in
+  let pinned_arg =
+    Arg.(value & flag
+         & info [ "pinned" ]
+             ~doc:"Drain with one pinned worker domain per shard instead of inline.")
+  in
+  let soak_arg =
+    Arg.(value & flag
+         & info [ "soak" ]
+             ~doc:"Deterministic soak: run the trace twice inline (single-consumer mode \
+                   replays batch boundaries and fault draws exactly) and fail unless the \
+                   decision digests are bit-identical and every shard breaker re-closes. \
+                   Combine with \\$(b,RKD_FAULTS) for a chaos soak.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0x5e4e & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Trace seed.")
+  in
+  let doc =
+    "drive the sharded multi-tenant serving layer over a generated trace; fails unless \
+     every admitted event is served, digests replay bit-identically (--soak) and every \
+     per-shard breaker re-closes"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ tenants_arg $ events_arg $ shards_arg $ producers_arg $ pinned_arg
+      $ soak_arg $ seed_arg)
+
 let disasm_cmd =
   let run path =
     match parse_program path with
@@ -500,7 +650,7 @@ let main =
   Cmd.group
     (Cmd.info "rkdctl" ~version:"1.0.0" ~doc)
     [ verify_cmd; resources_cmd; disasm_cmd; run_cmd; assemble_cmd; absint_fuzz_cmd;
-      decode_fuzz_cmd; chaos_cmd; stats_cmd; trace_cmd; table1_cmd; table2_cmd;
+      decode_fuzz_cmd; chaos_cmd; serve_cmd; stats_cmd; trace_cmd; table1_cmd; table2_cmd;
       ablations_cmd; overhead_cmd; shapes_cmd ]
 
 let () = exit (Cmd.eval' main)

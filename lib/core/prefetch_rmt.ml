@@ -146,12 +146,13 @@ let empty_tree params =
   in
   Kml.Decision_tree.train ds
 
-let create ?(params = default_params) ?(engine = Rmt.Vm.Jit_compiled) ?(seed = 42) () =
+let create ?(params = default_params) ?(engine = Rmt.Vm.Jit_compiled) ?(seed = 42) ?view_ns
+    () =
   if params.history < 1 then invalid_arg "Prefetch_rmt.create: history must be positive";
   if params.n_delta_classes < 2 then
     invalid_arg "Prefetch_rmt.create: need at least two delta classes";
   if params.depth < 1 then invalid_arg "Prefetch_rmt.create: depth must be positive";
-  let control = Rmt.Control.create ~engine ~seed () in
+  let control = Rmt.Control.create ~engine ~seed ?view_ns () in
   let model = Rmt.Model_store.Tree (empty_tree params) in
   let (_ : Rmt.Model_store.handle) = Rmt.Control.register_model control ~name:"pf_tree" model in
   let collect_vm =

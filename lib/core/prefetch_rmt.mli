@@ -41,7 +41,13 @@ val default_params : params
 
 type t
 
-val create : ?params:params -> ?engine:Rmt.Vm.engine -> ?seed:int -> unit -> t
+val create :
+  ?params:params -> ?engine:Rmt.Vm.engine -> ?seed:int -> ?view_ns:string -> unit -> t
+(** [view_ns] namespaces the underlying control plane's registry views
+    (see {!Rmt.Control.create}); the serving layer passes a per-shard
+    namespace so shard-pinned prefetcher instances publish disjoint
+    breaker/program telemetry. *)
+
 val prefetcher : t -> Ksim.Prefetcher.t
 (** The {!Ksim.Mem_sim}-compatible interface.  [reset] clears per-process
     state, the training window and the model. *)

@@ -231,3 +231,46 @@ let producer_consumer ~rng ?(n = 4000) ?(lag = 4) ?(delta = 1 lsl 20) ?(pages = 
     if i >= lag then acc := mk consumer (walk.(i - lag) + delta) :: !acc
   done;
   List.rev !acc
+
+(* Multi-tenant serving trace: [tenants] independent streams, each with
+   its own access pattern (cycled by tenant id), interleaved in
+   rng-ordered bursts.  Per-tenant order is the stream's own order —
+   exactly what the serving layer's FIFO pinning preserves — while the
+   global interleave is adversarial for any consumer that assumes
+   contiguous per-tenant runs. *)
+let multi_tenant ~rng ~tenants ~events_per_tenant ?(pages = 4096) ?(burst = 8) () =
+  if tenants < 1 || events_per_tenant < 1 then
+    invalid_arg "Workload_mem.multi_tenant: invalid parameters";
+  let stream tenant =
+    let pid = tenant in
+    match tenant mod 4 with
+    | 0 -> sequential ~pid ~start:(tenant * 64) ~n:events_per_tenant
+    | 1 -> strided ~pid ~start:(tenant * 64) ~stride:(2 + (tenant mod 7)) ~n:events_per_tenant
+    | 2 -> random ~rng ~pid ~pages ~n:events_per_tenant
+    | _ ->
+      (* Periodic scan with a jump every 16 pages: sequential enough to
+         train on, irregular enough to miss without the learned path. *)
+      List.init events_per_tenant (fun i ->
+          let seg = i / 16 and off = i mod 16 in
+          mk pid ((tenant * 131) + (seg * 64) + off))
+  in
+  let queues = Array.init tenants (fun tenant -> ref (stream tenant)) in
+  let remaining = ref (tenants * events_per_tenant) in
+  let acc = ref [] in
+  while !remaining > 0 do
+    let t = Kml.Rng.int rng tenants in
+    let q = queues.(t) in
+    let n = 1 + Kml.Rng.int rng burst in
+    let rec take n =
+      if n > 0 then
+        match !q with
+        | [] -> ()
+        | a :: rest ->
+          q := rest;
+          acc := a :: !acc;
+          decr remaining;
+          take (n - 1)
+    in
+    take n
+  done;
+  List.rev !acc

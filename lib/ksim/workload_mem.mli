@@ -97,3 +97,19 @@ val producer_consumer :
     exactly [lag] producer-steps later — two mappings of a shared buffer.
     Each stream is unpredictable from its own history; their correlation is
     perfect.  Exercises cross-application optimization (§2.1 #4). *)
+
+val multi_tenant :
+  rng:Kml.Rng.t ->
+  tenants:int ->
+  events_per_tenant:int ->
+  ?pages:int ->
+  ?burst:int ->
+  unit ->
+  access list
+(** A serving-layer trace: [tenants] independent per-tenant streams —
+    pattern cycled by tenant id over sequential / strided / random /
+    periodic-with-jumps — interleaved in rng-ordered bursts.  The [pid]
+    field carries the tenant id.  Per-tenant subsequences are each
+    stream's own order, so any consumer that preserves per-tenant FIFO
+    (e.g. {!Serve.Serving}) serves them deterministically regardless of
+    the global interleave. *)

@@ -26,7 +26,31 @@ let set_enabled b = enabled_flag := b
    many pool resizes costs contention, never lost counts. *)
 let stripes = 128
 let stripe_mask = stripes - 1
-let stripe () = (Domain.self () :> int) land stripe_mask
+let stripe_capacity = stripes
+
+(* Guard for ids beyond the stripe capacity: long-lived pinned serving
+   domains spawned after many pool resizes can carry ids >= 128, which
+   would alias stripes silently.  Aliasing is still benign (atomic cells,
+   exact sums), so the guard records the largest out-of-range id seen —
+   surfaced through the [obs.stripe.overflow_max_id] view — instead of
+   failing.  Steady-state cost for an overflowing domain is one atomic
+   load and compare; the CAS loop runs only while the max advances. *)
+let stripe_overflow_max = Atomic.make (-1)
+
+let rec note_stripe_overflow id =
+  let cur = Atomic.get stripe_overflow_max in
+  if id > cur && not (Atomic.compare_and_set stripe_overflow_max cur id) then
+    note_stripe_overflow id
+
+let stripe_of_id id =
+  if id < stripes then id land stripe_mask
+  else begin
+    note_stripe_overflow id;
+    id land stripe_mask
+  end
+
+let stripe_overflow_max_id () = Atomic.get stripe_overflow_max
+let stripe () = stripe_of_id (Domain.self () :> int)
 
 (* Consecutive [Atomic.make]s would land on the same minor-heap cache
    line; the spacer allocation pads successive cells apart.  The GC may
@@ -614,3 +638,7 @@ module Registry = struct
           histos;
         Trace.reset ())
 end
+
+(* The stripe-capacity guard is observable like any other health signal:
+   -1 until some domain id ever exceeded the stripe capacity. *)
+let () = Registry.register_view "obs.stripe.overflow_max_id" stripe_overflow_max_id

@@ -38,6 +38,29 @@ val intern : string -> int
 val intern_name : int -> string
 (** Inverse of {!intern}; ["?<id>"] for ids never interned. *)
 
+(** {2 Stripe capacity guard}
+
+    Counters, gauges and histogram sums are striped by domain id.  Domain
+    ids are allocated monotonically by the runtime, so a process that
+    spawns long-lived pinned domains after many pool resizes can exceed
+    the stripe capacity; such domains alias earlier stripes.  Aliasing is
+    benign for correctness (stripes are atomic cells, totals stay exact)
+    but costs contention — the guard makes it observable instead of
+    silent. *)
+
+val stripe_capacity : int
+(** Number of stripes per metric (128). *)
+
+val stripe_of_id : int -> int
+(** Stripe index a domain id maps to, always in
+    [\[0, stripe_capacity)].  An id at or beyond the capacity is masked
+    down and recorded in {!stripe_overflow_max_id} (also exported as the
+    [obs.stripe.overflow_max_id] registry view). *)
+
+val stripe_overflow_max_id : unit -> int
+(** Largest domain id ever seen beyond the stripe capacity; -1 when no
+    overflow has occurred. *)
+
 module Counter : sig
   type t
 

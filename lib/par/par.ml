@@ -264,6 +264,26 @@ let parallel_map pool f l =
 
 let run_tasks pool thunks = parallel_map pool (fun f -> f ()) thunks
 
+(* ---------------- pinned long-lived workers ---------------- *)
+
+(* The stealing pool runs short indexed batches; the serving layer needs
+   the opposite shape — a domain that lives for the whole serving session
+   and owns its shard's state.  A pinned worker marks itself as inside
+   the pool so any nested [run_batch] it reaches (model retraining, say)
+   runs inline on its own domain instead of re-entering the shared pool
+   and oversubscribing the machine. *)
+module Pinned = struct
+  type t = unit Domain.t
+
+  let spawn f =
+    Domain.spawn (fun () ->
+        let flag = Domain.DLS.get inside_pool in
+        flag := true;
+        f ())
+
+  let join t = Domain.join t
+end
+
 (* ---------------- global pool ---------------- *)
 
 let global_lock = Mutex.create ()

@@ -53,6 +53,28 @@ val parallel_map : pool -> ('a -> 'b) -> 'a list -> 'b list
 val run_tasks : pool -> (unit -> 'a) list -> 'a list
 (** Runs independent thunks in parallel; results in input order. *)
 
+(** {2 Pinned long-lived workers}
+
+    The inverse shape of the stealing pool: a domain that lives for a
+    whole serving session and owns long-lived state (a shard's VM and
+    tables), instead of participating in short indexed batches.  Pinned
+    workers mark themselves as pool participants, so nested batch
+    submissions from worker code run inline on the worker's own domain
+    (no pool re-entry, no oversubscription). *)
+
+module Pinned : sig
+  type t
+
+  val spawn : (unit -> unit) -> t
+  (** Spawn one long-lived worker domain running [f].  The caller owns
+      shutdown: make [f] return (a stop flag, closing a queue) and then
+      {!join}. *)
+
+  val join : t -> unit
+  (** Wait for the worker to return.  Re-raises the worker's uncaught
+      exception, if any, on the joining domain. *)
+end
+
 (** {2 Global pool}
 
     The experiment layer shares one process-wide pool so that nested

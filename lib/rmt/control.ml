@@ -13,6 +13,7 @@ type t = {
   rng : Kml.Rng.t;
   mutable installs : int; (* indexes per-install Rng substreams *)
   retries : (string, retry) Hashtbl.t; (* update_model_checked backoff, per model *)
+  view_ns : string; (* registry namespace for per-control-plane views *)
 }
 
 (* Retry-with-backoff state for {!update_model_checked}: consecutive
@@ -37,19 +38,22 @@ let update_backoff_max_ns = 1_000_000_000 (* 1 s *)
    throttled units, guardrail violations) into registry views through the
    unchanged Vm accessors, so `rkdctl stats` reports them uniformly next
    to the striped counters.  Reinstalling a name rebinds its views. *)
-let register_program_views name vm =
+let register_program_views ~view_ns name vm =
   let view suffix f =
-    Obs.Registry.register_view ("rmt.program." ^ name ^ "." ^ suffix) (fun () -> f vm)
+    Obs.Registry.register_view
+      (view_ns ^ ".program." ^ name ^ "." ^ suffix)
+      (fun () -> f vm)
   in
   view "invocations" Vm.invocations;
   view "steps" Vm.total_steps;
   view "throttled_units" Vm.throttled_units;
   view "guardrail_violations" Vm.guardrail_violations
 
-let create ?(engine = Vm.Jit_compiled) ?(limits = Verifier.default_limits) ?(seed = 0x5eed) () =
+let create ?(engine = Vm.Jit_compiled) ?(limits = Verifier.default_limits) ?(seed = 0x5eed)
+    ?(view_ns = "rmt") () =
   { helpers = Helper.with_defaults ();
     store = Model_store.create ();
-    pipeline = Pipeline.create ();
+    pipeline = Pipeline.create ~view_ns ();
     programs = Hashtbl.create 16;
     resources = Hashtbl.create 16;
     tables = Hashtbl.create 16;
@@ -60,7 +64,8 @@ let create ?(engine = Vm.Jit_compiled) ?(limits = Verifier.default_limits) ?(see
     limits;
     rng = Kml.Rng.create seed;
     installs = 0;
-    retries = Hashtbl.create 8 }
+    retries = Hashtbl.create 8;
+    view_ns }
 
 let helpers t = t.helpers
 let models t = t.store
@@ -247,7 +252,7 @@ let install t ?engine ?budget ?resource_budget ?model_names (prog : Program.t) =
       t.program_order <- t.program_order @ [ prog.name ];
     Hashtbl.replace t.programs prog.name vm;
     Obs.Counter.incr c_installs;
-    register_program_views prog.name vm;
+    register_program_views ~view_ns:t.view_ns prog.name vm;
     Ok vm
 
 let install_canary t ?engine ?budget ?resource_budget ?model_names ?invocations
@@ -294,7 +299,7 @@ let remove_program t name =
     Hashtbl.remove t.resources name;
     t.program_order <- List.filter (fun n -> n <> name) t.program_order;
     List.iter
-      (fun suffix -> Obs.Registry.unregister_view ("rmt.program." ^ name ^ "." ^ suffix))
+      (fun suffix -> Obs.Registry.unregister_view (t.view_ns ^ ".program." ^ name ^ "." ^ suffix))
       [ "invocations"; "steps"; "throttled_units"; "guardrail_violations" ];
     true
   end

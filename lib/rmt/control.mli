@@ -10,9 +10,14 @@
 
 type t
 
-val create : ?engine:Vm.engine -> ?limits:Verifier.limits -> ?seed:int -> unit -> t
+val create :
+  ?engine:Vm.engine -> ?limits:Verifier.limits -> ?seed:int -> ?view_ns:string -> unit -> t
 (** Fresh kernel-side state: default helper registry, empty model store,
-    empty pipeline.  [seed] drives DP noise and any program randomness. *)
+    empty pipeline.  [seed] drives DP noise and any program randomness.
+    [view_ns] (default ["rmt"]) prefixes every registry view this control
+    plane registers — [<view_ns>.program.<name>.*] and, through its
+    pipeline, [<view_ns>.breaker.<hook>.*] — so several instances (one
+    per serving shard) publish disjoint telemetry. *)
 
 val helpers : t -> Helper.t
 val models : t -> Model_store.t

@@ -105,6 +105,27 @@ let with_scope scope f =
 let with_plan ?seed points f = with_scope (Local (make_plan ?seed points)) f
 let without f = with_scope Suppress f
 
+(* Cross-domain plan threading: [with_plan] scopes are domain-local
+   (DLS), so a plan armed on the submitting domain is invisible to a
+   long-lived pinned worker spawned inside the scope.  A [capture] taken
+   on the submitter and re-installed by the worker at startup closes the
+   gap; [capture_for ~index] derives an independent per-worker substream
+   (same probabilities, split rng) so N workers replay deterministic,
+   non-shared fault schedules. *)
+type capture = scope option
+
+let capture () = Domain.DLS.get scope_key
+
+let capture_for ~index cap =
+  match cap with
+  | Some (Local plan) ->
+    Some (Local { probs = Array.copy plan.probs; rng = Kml.Rng.split plan.rng index })
+  | Some Suppress -> Some Suppress
+  | None -> None
+
+let with_capture cap f =
+  match cap with None -> f () | Some scope -> with_scope scope f
+
 let draw plan p =
   let prob = plan.probs.(index p) in
   prob > 0.0

@@ -63,6 +63,32 @@ val with_plan : ?seed:int -> (point * float) list -> (unit -> 'a) -> 'a
 val without : (unit -> 'a) -> 'a
 (** Run the callback with all injection suppressed in this domain. *)
 
+(** {2 Cross-domain plan threading}
+
+    {!with_plan} scopes are domain-local, so code running on a domain
+    spawned {e inside} the scope (a pinned serving worker, say) would
+    silently fall back to the global plan.  Workers close the gap by
+    taking a {!capture} on the submitting domain and re-installing it
+    with {!with_capture} at startup. *)
+
+type capture
+(** Snapshot of the calling domain's ambient fault scope: a scoped plan,
+    a {!without} suppression, or nothing (fall through to the global
+    plan). *)
+
+val capture : unit -> capture
+
+val capture_for : index:int -> capture -> capture
+(** Derive worker [index]'s capture: a captured plan keeps its
+    probabilities but draws from an independent split of the plan's rng,
+    so concurrent workers neither share rng state nor replay each other's
+    schedules — worker [i]'s fault schedule is a pure function of
+    (plan, seed, [i]).  Suppression and empty captures pass through. *)
+
+val with_capture : capture -> (unit -> 'a) -> 'a
+(** Run the callback under the captured scope (no-op for an empty
+    capture); restores the previous scope on exit. *)
+
 val injected : point -> int
 (** Process-total injections at this point (all plans). *)
 

@@ -62,6 +62,14 @@ let window t = t.window
 let violation_rate t =
   if t.w_seen >= 8 then float_of_int t.w_viol /. float_of_int t.w_seen else t.last_rate
 
+(* Same predicate as [violation_rate t >= rate] without materializing the
+   rate: returning a float across the module boundary boxes it, and the
+   pipeline health monitor runs this once per batch on the serving hot
+   path.  All intermediates stay unboxed. *)
+let violation_rate_ge t rate =
+  if t.w_seen >= 8 then float_of_int t.w_viol >= rate *. float_of_int t.w_seen
+  else t.last_rate >= rate
+
 let reset t =
   t.violations <- 0;
   t.w_seen <- 0;

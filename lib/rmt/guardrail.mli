@@ -27,6 +27,10 @@ val violation_rate : t -> float
     holds at least 8 observations, the last completed window before that
     (0 initially).  A 100%-violation storm is visible within ~8 calls. *)
 
+val violation_rate_ge : t -> float -> bool
+(** [violation_rate_ge t r] = [violation_rate t >= r], without boxing a
+    float return — usable on allocation-free hot paths. *)
+
 val reset : t -> unit
 (** Zero the lifetime count and the rolling window. *)
 

@@ -25,9 +25,13 @@ type hook_state = {
 type t = {
   hooks : (string, hook_state) Hashtbl.t;
   mutable order : string list; (* first-attach order, newest last *)
+  view_ns : string; (* registry namespace for per-pipeline views *)
 }
 
-let create () = { hooks = Hashtbl.create 16; order = [] }
+let create ?(view_ns = "rmt") () =
+  { hooks = Hashtbl.create 16; order = []; view_ns }
+
+let view_ns t = t.view_ns
 
 let state t hook =
   match Hashtbl.find_opt t.hooks hook with
@@ -78,10 +82,10 @@ let protect t ~hook ?config ?breaker ?(vms = [||]) ~fallback () =
         last_throttled = 0;
         throttle_streak = 0 };
   Obs.Registry.register_view
-    (Printf.sprintf "rmt.breaker.%s.state" hook)
+    (Printf.sprintf "%s.breaker.%s.state" t.view_ns hook)
     (fun () -> Breaker.state_code (Breaker.state breaker));
   Obs.Registry.register_view
-    (Printf.sprintf "rmt.breaker.%s.fallback_served" hook)
+    (Printf.sprintf "%s.breaker.%s.fallback_served" t.view_ns hook)
     (fun () -> match s.protection with Some p -> p.fallback_served | None -> 0);
   breaker
 
@@ -103,23 +107,26 @@ let serve_fallback p ~ctxt =
 let sum_throttled vms =
   Array.fold_left (fun acc vm -> acc + Vm.throttled_units vm) 0 vms
 
+(* Top level (not a closure) so the per-batch health poll allocates
+   nothing: the serving layer runs it once per drained batch with
+   telemetry on. *)
+let rec any_guardrail_storm vms rate i =
+  i < Array.length vms
+  && (Vm.guardrail_degraded (Array.unsafe_get vms i) ~rate
+      || any_guardrail_storm vms rate (i + 1))
+
 (* Post-dispatch health monitors: a guardrail-violation storm on any of
    the hook's programs, or sustained rate-limiter saturation, count as
    breaker failures even though each individual firing "succeeded". *)
 let observe_health p ~now_ns =
-  let degraded = ref false in
-  Array.iter
-    (fun vm -> if Vm.guardrail_violation_rate vm >= p.guardrail_rate then degraded := true)
-    p.guard_vms;
   let throttled = sum_throttled p.guard_vms in
   if throttled > p.last_throttled then p.throttle_streak <- p.throttle_streak + 1
   else p.throttle_streak <- 0;
   p.last_throttled <- throttled;
-  if p.throttle_streak >= p.saturation_streak then begin
-    degraded := true;
-    p.throttle_streak <- 0
-  end;
-  if !degraded then Breaker.record_failure p.breaker ~now:now_ns
+  let saturated = p.throttle_streak >= p.saturation_streak in
+  if saturated then p.throttle_streak <- 0;
+  if saturated || any_guardrail_storm p.guard_vms p.guardrail_rate 0 then
+    Breaker.record_failure p.breaker ~now:now_ns
   else Breaker.record_success p.breaker ~now:now_ns
 
 let dispatch s ~ctxt ~now =
@@ -150,9 +157,18 @@ let fire_protected s p ~ctxt ~now =
 (* Batched firing (DESIGN.md section 13)                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Top level (not a closure over [b]/[now]) so batched dispatch allocates
+   nothing beyond what the tables themselves do. *)
+let rec lookup_batch_tables tables b ~now =
+  match tables with
+  | [] -> ()
+  | table :: rest ->
+    Table.lookup_batch table b ~now;
+    lookup_batch_tables rest b ~now
+
 let dispatch_batch s b ~now =
   if Obs.enabled () then Obs.Trace.set_current_hook s.hook_id;
-  List.iter (fun table -> Table.lookup_batch table b ~now) s.tables;
+  lookup_batch_tables s.tables b ~now;
   if Obs.enabled () then Obs.Trace.set_current_hook (-1)
 
 (* Serve the stock heuristic for one slot; the trap marker (if any) is
@@ -195,9 +211,11 @@ let fire_protected_batch s p b ~now =
   end
 
 let fire_batch t ~hook b ~now =
-  match Hashtbl.find_opt t.hooks hook with
-  | None -> false
-  | Some s ->
+  (* [find] + exception, not [find_opt]: the option would be a fresh
+     minor-heap cell on every batch of the serving loop. *)
+  match Hashtbl.find t.hooks hook with
+  | exception Not_found -> false
+  | s ->
     if s.tables = [] then false
     else begin
       let n = b.Batch.n in

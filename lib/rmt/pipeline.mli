@@ -15,7 +15,14 @@
 
 type t
 
-val create : unit -> t
+val create : ?view_ns:string -> unit -> t
+(** [view_ns] (default ["rmt"]) prefixes every registry view this
+    pipeline registers — {!protect} registers
+    [<view_ns>.breaker.<hook>.*] — so several pipelines (one per serving
+    shard, say) publish disjoint telemetry instead of silently rebinding
+    each other's views. *)
+
+val view_ns : t -> string
 val attach : t -> hook:string -> Table.t -> unit
 val detach : t -> hook:string -> name:string -> bool
 (** Detach a table by name; [false] when absent. *)
@@ -76,8 +83,9 @@ val protect :
     [?breaker] shares an existing breaker across hooks (e.g. both stages
     of the prefetch pipeline trip together); otherwise a fresh one is
     created from [?config] and named after the hook.  Registers gauge
-    views [rmt.breaker.<hook>.state] and
-    [rmt.breaker.<hook>.fallback_served].  Returns the armed breaker. *)
+    views [<view_ns>.breaker.<hook>.state] and
+    [<view_ns>.breaker.<hook>.fallback_served].  Returns the armed
+    breaker. *)
 
 val breaker : t -> hook:string -> Breaker.t option
 val fallback_served : t -> hook:string -> int

@@ -463,6 +463,11 @@ let guardrail_violations t =
 let guardrail_violation_rate t =
   match t.loaded.Loaded.guardrail with Some g -> Guardrail.violation_rate g | None -> 0.0
 
+let guardrail_degraded t ~rate =
+  match t.loaded.Loaded.guardrail with
+  | Some g -> Guardrail.violation_rate_ge g rate
+  | None -> false
+
 let privacy_remaining_milli t =
   match t.loaded.Loaded.privacy with
   | Some acct -> Some (Privacy.remaining_milli acct)

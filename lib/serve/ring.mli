@@ -1,0 +1,36 @@
+(** Single-producer single-consumer ring of serve events.
+
+    The serving layer allocates one ring per (producer, shard) pair, so
+    neither side ever contends with a peer: the producer alone moves the
+    tail, the shard worker alone moves the head.  Cursors are cache-line
+    spaced and each side caches the other's cursor, refreshing only on
+    apparent-full / batch-underfill — the steady state is one or two
+    atomic loads and one atomic store per operation, and neither
+    {!try_push} nor {!drain_into} allocates. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] is rounded up to a power of two.  Raises [Invalid_argument]
+    when it is not positive. *)
+
+val capacity : t -> int
+
+val try_push : t -> tenant:int -> page:int -> stamp:int -> bool
+(** Producer side: enqueue one event, [false] when the ring is full
+    (caller counts it as backpressure and drops or retries).  [stamp] is
+    the admission timestamp; the consumer turns it into queueing
+    latency.  Must only be called from the ring's single producer. *)
+
+val drain_into : t -> max:int -> int array -> int array -> int array -> int
+(** [drain_into t ~max tenants pages stamps] — consumer side: copy up to
+    [max] pending events into the three column arrays (each at least
+    [max] long) and return the count, 0 when empty.  Must only be called
+    from the ring's single consumer. *)
+
+val is_empty : t -> bool
+(** Racy snapshot — exact only when both sides are quiescent; the shard
+    park protocol re-checks it under the park mutex. *)
+
+val length : t -> int
+(** Racy snapshot of the queue depth. *)

@@ -1,0 +1,318 @@
+(* One serving shard: a tenant partition's rings, drain scratch, pinned
+   datapath state and telemetry.  The shard itself is sink-agnostic — the
+   [sink] record is the per-batch datapath callback plus the optional
+   control plane the serving front-end routes canary installs and breaker
+   commands through.  [Datapath] below is the standard sink: a
+   shard-private {!Rmt.Control} with the prefetch collect program behind
+   a per-shard circuit breaker, per-tenant execution-context slabs and a
+   rolling per-tenant decision digest. *)
+
+type sink = {
+  run : n:int -> tenants:int array -> pages:int array -> now:int -> unit;
+  control : Rmt.Control.t option;
+  digest : unit -> int;
+}
+
+type t = {
+  index : int;
+  name : string; (* telemetry namespace: rmt.serve.<index> *)
+  rings : Ring.t array; (* one SPSC ring per producer *)
+  max_batch : int;
+  (* Drain scratch columns, allocated once; [max_batch] long. *)
+  d_tenants : int array;
+  d_pages : int array;
+  d_stamps : int array;
+  sink : sink;
+  (* Control-plane commands (canary installs, breaker trips/resets)
+     posted from other domains; drained between batches so they run on
+     the shard's own domain.  Steady state is one atomic load. *)
+  pending : (unit -> unit) list Atomic.t;
+  (* Park protocol: the worker takes the mutex, publishes [parked],
+     re-checks its rings and only then waits; producers that observe
+     [parked] after a push serialize on the mutex, so the wakeup cannot
+     be lost. *)
+  park_mutex : Mutex.t;
+  park_cond : Condition.t;
+  parked : bool Atomic.t;
+  c_batches : Obs.Counter.t; (* rmt.serve.<i>.batches *)
+  c_invocations : Obs.Counter.t; (* rmt.serve.<i>.invocations *)
+  h_queue_ns : Obs.Histo.t; (* rmt.serve.<i>.queue_ns *)
+  h_latency_ns : Obs.Histo.t; (* rmt.serve.latency_ns — shared: Obs
+                                 dedups metrics by name, so every shard
+                                 feeds one fleet-wide histogram *)
+  mutable served : int; (* events drained into the sink (worker-owned) *)
+}
+
+let create ~index ~producers ~ring_capacity ~max_batch sink =
+  if producers <= 0 then invalid_arg "Shard.create: producers must be positive";
+  if max_batch <= 0 then invalid_arg "Shard.create: max_batch must be positive";
+  let name = Printf.sprintf "rmt.serve.%d" index in
+  { index;
+    name;
+    rings = Array.init producers (fun _ -> Ring.create ~capacity:ring_capacity);
+    max_batch;
+    d_tenants = Array.make max_batch 0;
+    d_pages = Array.make max_batch 0;
+    d_stamps = Array.make max_batch 0;
+    sink;
+    pending = Atomic.make [];
+    park_mutex = Mutex.create ();
+    park_cond = Condition.create ();
+    parked = Atomic.make false;
+    c_batches = Obs.Counter.make (name ^ ".batches");
+    c_invocations = Obs.Counter.make (name ^ ".invocations");
+    h_queue_ns = Obs.Histo.make (name ^ ".queue_ns");
+    h_latency_ns = Obs.Histo.make "rmt.serve.latency_ns";
+    served = 0 }
+
+let index t = t.index
+let name t = t.name
+let ring t producer = t.rings.(producer)
+let producers t = Array.length t.rings
+let control t = t.sink.control
+let digest t = t.sink.digest ()
+let served t = t.served
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain control commands                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec push_pending t f =
+  let cur = Atomic.get t.pending in
+  if not (Atomic.compare_and_set t.pending cur (f :: cur)) then push_pending t f
+
+(* Run queued commands on the shard's own domain, oldest first.  The
+   empty-queue probe is a single atomic load and a branch. *)
+let run_pending t =
+  match Atomic.get t.pending with
+  | [] -> ()
+  | _ :: _ ->
+    let cmds = Atomic.exchange t.pending [] in
+    List.iter (fun f -> f ()) (List.rev cmds)
+
+(* ------------------------------------------------------------------ *)
+(* Draining                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let drain_ring t ring ~now =
+  let n = Ring.drain_into ring ~max:t.max_batch t.d_tenants t.d_pages t.d_stamps in
+  if n > 0 then begin
+    t.sink.run ~n ~tenants:t.d_tenants ~pages:t.d_pages ~now;
+    (* Queueing latency: admission stamp -> drain.  The shared
+       [rmt.serve.latency_ns] histogram is the bench's p99 source. *)
+    for i = 0 to n - 1 do
+      let wait = now - Array.unsafe_get t.d_stamps i in
+      let wait = if wait < 0 then 0 else wait in
+      Obs.Histo.observe t.h_queue_ns wait;
+      Obs.Histo.observe t.h_latency_ns wait
+    done;
+    t.served <- t.served + n;
+    Obs.Counter.add t.c_invocations n;
+    Obs.Counter.incr t.c_batches
+  end;
+  n
+
+let rec drain_rings t ~now i acc =
+  if i >= Array.length t.rings then acc
+  else drain_rings t ~now (i + 1) (acc + drain_ring t t.rings.(i) ~now)
+
+(* One sweep: control commands first (so a posted canary install applies
+   to the batches that follow), then up to [max_batch] events from each
+   producer ring.  Returns the number of events served; zero-allocation
+   when the queues are empty or the sink's steady state is. *)
+let drain_once t ~now =
+  run_pending t;
+  drain_rings t ~now 0 0
+
+(* ------------------------------------------------------------------ *)
+(* Parking                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec rings_empty_from t i =
+  i >= Array.length t.rings || (Ring.is_empty t.rings.(i) && rings_empty_from t (i + 1))
+
+let park t ~should_stop =
+  Mutex.lock t.park_mutex;
+  Atomic.set t.parked true;
+  (* Re-check after publishing [parked]: a producer that pushed before it
+     could observe the flag left work we must not sleep on.  A spurious
+     wakeup just returns to the drain loop. *)
+  if (not (should_stop ()))
+     && rings_empty_from t 0
+     && (match Atomic.get t.pending with [] -> true | _ :: _ -> false)
+  then Condition.wait t.park_cond t.park_mutex;
+  Atomic.set t.parked false;
+  Mutex.unlock t.park_mutex
+
+(* Producer-side nudge after a push: a single atomic load unless the
+   worker is actually parked. *)
+let wake t =
+  if Atomic.get t.parked then begin
+    Mutex.lock t.park_mutex;
+    Condition.broadcast t.park_cond;
+    Mutex.unlock t.park_mutex
+  end
+
+(* Unconditional wake for shutdown: serializes on the mutex so a worker
+   between publishing [parked] and waiting cannot miss it. *)
+let wake_force t =
+  Mutex.lock t.park_mutex;
+  Condition.broadcast t.park_cond;
+  Mutex.unlock t.park_mutex
+
+let post t f =
+  push_pending t f;
+  wake t
+
+(* ------------------------------------------------------------------ *)
+(* Standard datapath sink                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Datapath = struct
+  let hook = Rkd.Hooks.lookup_swap_cache
+  let program_name = "pf_collect"
+
+  (* Stock-heuristic marker, distinguishable from any real collect
+     result; served per slot while the shard's breaker is open. *)
+  let fallback_marker = min_int
+
+  (* Rolling per-tenant digest lives at a reserved dense context key so
+     the per-slot update is allocation-free.  Must stay clear of the
+     collect program's keys (pid/page/last_page/heuristic at 0..3,
+     feature block from 8) and the predict result block at 64. *)
+  let digest_key = 120
+
+  (* Last chunk id a tenant appeared in (see [run]): duplicate detection
+     without a scratch set, also at a reserved dense key. *)
+  let chunk_key = 121
+
+  let () = assert (digest_key < Rmt.Ctxt.dense_bound && chunk_key < Rmt.Ctxt.dense_bound)
+
+  type dp = {
+    control : Rmt.Control.t;
+    table : Rmt.Table.t;
+    vm : Rmt.Vm.t;
+    batch : Rmt.Batch.t;
+    ctxts : (int, Rmt.Ctxt.t) Hashtbl.t; (* tenant -> pinned slab *)
+    now_cell : int array; (* drain timestamp; the control clock reads it *)
+    chunk_cell : int array; (* monotonically increasing chunk id *)
+    mutable tenant_order : int list; (* first-touch order, digest fold *)
+  }
+
+  let mix h v =
+    let h = (h lxor v) * 0x9e3779b1 in
+    h land max_int
+
+  let create ~view_ns ~max_batch () =
+    let control = Rmt.Control.create ~view_ns () in
+    let params = Rkd.Prefetch_rmt.default_params in
+    let vm =
+      match Rmt.Control.install control (Rkd.Prefetch_rmt.build_collect_program params) with
+      | Ok vm -> vm
+      | Error e -> invalid_arg ("Shard.Datapath.create: install failed: " ^ e)
+    in
+    let table =
+      Rmt.Control.create_table control ~name:"serve_access_tab"
+        ~match_keys:[| Rkd.Hooks.key_pid |] ~default:(Rmt.Table.Run vm)
+    in
+    Rmt.Control.attach control ~hook table;
+    ignore
+      (Rmt.Control.protect control ~hook ~programs:[ program_name ]
+         ~fallback:(fun _ -> fallback_marker) ()
+        : Rmt.Breaker.t);
+    let d =
+      { control;
+        table;
+        vm;
+        batch = Rmt.Batch.create ~capacity:max_batch;
+        ctxts = Hashtbl.create 64;
+        now_cell = Array.make 1 0;
+        chunk_cell = Array.make 1 0;
+        tenant_order = [] }
+    in
+    Rmt.Control.set_clock control (fun () -> d.now_cell.(0));
+    d
+
+  (* First touch of a tenant: allocate its context slab and give it an
+     exact-match table entry (the paper's per-process entry insertion).
+     Every entry runs the same installed program, so batches stay
+     uniform-[Run] and keep the SoA kernel. *)
+  let ctxt_for d tenant =
+    match Hashtbl.find d.ctxts tenant with
+    | c -> c
+    | exception Not_found ->
+      let c = Rmt.Ctxt.create () in
+      Hashtbl.replace d.ctxts tenant c;
+      ignore
+        (Rmt.Table.insert d.table ~patterns:[| Rmt.Table.Eq tenant |] (Rmt.Table.Run d.vm)
+          : Rmt.Table.entry_id);
+      d.tenant_order <- tenant :: d.tenant_order;
+      c
+
+  (* Fill batch slots from event [i] until the stream ends or a tenant
+     repeats within this chunk (its context is already aliased into an
+     earlier slot).  Returns the first unconsumed event index.  The
+     chunk-id stamp at [chunk_key] is the duplicate test — no scratch
+     set, no allocation. *)
+  let rec fill_chunk d tenants pages n i chunk s =
+    if i >= n then i
+    else begin
+      let tenant = Array.unsafe_get tenants i in
+      let ctxt = ctxt_for d tenant in
+      if Rmt.Ctxt.get ctxt chunk_key = chunk then i
+      else begin
+        Rmt.Ctxt.set ctxt chunk_key chunk;
+        Rmt.Ctxt.set ctxt Rkd.Hooks.key_pid tenant;
+        Rmt.Ctxt.set ctxt Rkd.Hooks.key_page (Array.unsafe_get pages i);
+        d.batch.Rmt.Batch.ctxts.(s) <- ctxt;
+        fill_chunk d tenants pages n (i + 1) chunk (s + 1)
+      end
+    end
+
+  (* Chunked dispatch: a chunk never holds the same tenant twice, so the
+     instruction-major SoA kernel cannot interleave one context's reads
+     and writes across slots — each tenant keeps scalar (sequential)
+     semantics, and therefore the same results for any batch boundaries
+     and any shard count.  (Prefetch_rmt.on_access_batch makes the same
+     duplicate-pid exclusion.) *)
+  let rec run_from d tenants pages n i =
+    if i < n then begin
+      let chunk = d.chunk_cell.(0) + 1 in
+      d.chunk_cell.(0) <- chunk;
+      let stop = fill_chunk d tenants pages n i chunk 0 in
+      let b = d.batch in
+      Rmt.Batch.set_n b (stop - i);
+      ignore (Rmt.Control.fire_batch d.control ~hook b : bool);
+      (* Fold each slot's decision into its tenant's rolling digest.  Per
+         tenant the fold is FIFO-ordered (rings preserve per-producer
+         order, tenants are shard-pinned), and the cross-tenant combine
+         in [digest] is an order-independent xor — so the fleet digest is
+         identical for any shard count and any batch boundaries. *)
+      for s = 0 to stop - i - 1 do
+        let ctxt = b.Rmt.Batch.ctxts.(s) in
+        Rmt.Ctxt.set ctxt digest_key
+          (mix (Rmt.Ctxt.get ctxt digest_key) b.Rmt.Batch.results.(s))
+      done;
+      run_from d tenants pages n stop
+    end
+
+  let run d ~n ~tenants ~pages ~now =
+    d.now_cell.(0) <- now;
+    run_from d tenants pages n 0
+
+  let digest d =
+    List.fold_left
+      (fun acc tenant ->
+        acc lxor mix tenant (Rmt.Ctxt.get (Hashtbl.find d.ctxts tenant) digest_key))
+      0 d.tenant_order
+
+  let tenant_count d = Hashtbl.length d.ctxts
+  let control d = d.control
+  let table d = d.table
+  let vm d = d.vm
+
+  let sink d =
+    { run = (fun ~n ~tenants ~pages ~now -> run d ~n ~tenants ~pages ~now);
+      control = Some d.control;
+      digest = (fun () -> digest d) }
+end

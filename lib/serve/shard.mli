@@ -1,0 +1,106 @@
+(** One serving shard: a tenant partition's SPSC rings, drain scratch,
+    pinned datapath state and telemetry (DESIGN.md section 14).
+
+    A shard is driven by exactly one consumer — either a domain-pinned
+    worker ({!Serving.start}) or the caller's own domain in inline mode —
+    and receives events through one {!Ring} per producer, so no queue
+    ever has two writers or two readers.  The datapath itself is a
+    {!sink} callback; {!Datapath} is the standard one. *)
+
+type sink = {
+  run : n:int -> tenants:int array -> pages:int array -> now:int -> unit;
+      (** Serve the first [n] slots of the column arrays.  Called only
+          from the shard's consumer domain; the arrays are the shard's
+          scratch and are overwritten by the next batch. *)
+  control : Rmt.Control.t option;
+      (** The shard-private control plane, when the sink has one — the
+          front-end routes canary installs and breaker commands here. *)
+  digest : unit -> int;
+      (** Order-insensitive fleet digest of the decisions served so far
+          (0 when the sink does not track one). *)
+}
+
+type t
+
+val create :
+  index:int -> producers:int -> ring_capacity:int -> max_batch:int -> sink -> t
+(** Registers per-shard counters [rmt.serve.<index>.{invocations,batches}]
+    and histogram [rmt.serve.<index>.queue_ns], plus the shared
+    [rmt.serve.latency_ns] histogram every shard feeds. *)
+
+val index : t -> int
+val name : t -> string
+(** Telemetry namespace, [rmt.serve.<index>]. *)
+
+val ring : t -> int -> Ring.t
+(** [ring t producer] — the SPSC ring producer [producer] pushes to. *)
+
+val producers : t -> int
+val control : t -> Rmt.Control.t option
+val digest : t -> int
+val served : t -> int
+(** Events drained into the sink so far.  Worker-owned; exact once the
+    shard's consumer is quiescent. *)
+
+val drain_once : t -> now:int -> int
+(** One sweep on the consumer domain: run posted control commands, then
+    drain up to [max_batch] events from each producer ring into the
+    sink.  Returns the number of events served.  Allocation-free in the
+    steady state (warm tenants, no pending commands). *)
+
+val post : t -> (unit -> unit) -> unit
+(** Queue a control command (canary install, breaker trip, …) to run on
+    the shard's consumer domain before its next batch; wakes the worker
+    if parked.  Safe from any domain. *)
+
+val park : t -> should_stop:(unit -> bool) -> unit
+(** Block the consumer until woken.  Publishes the parked flag, then
+    re-checks [should_stop], the rings and the command queue under the
+    park mutex before sleeping, so a concurrent push or {!post} cannot
+    be lost.  Consumer domain only. *)
+
+val wake : t -> unit
+(** Producer-side nudge: a single atomic load unless the worker is
+    actually parked. *)
+
+val wake_force : t -> unit
+(** Unconditional wake (shutdown path): serializes on the park mutex so
+    a worker about to sleep cannot miss it. *)
+
+(** {2 Standard datapath sink}
+
+    A shard-private {!Rmt.Control} running the prefetch collect program
+    behind a per-shard circuit breaker: per-tenant execution-context
+    slabs and exact-match table entries are created on first touch, every
+    batch goes through {!Rmt.Control.fire_batch} (uniform-[Run] batches
+    keep the SoA kernel), and each slot's decision folds into a rolling
+    per-tenant digest stored at a reserved dense context key. *)
+
+module Datapath : sig
+  type dp
+
+  val create : view_ns:string -> max_batch:int -> unit -> dp
+  (** [view_ns] namespaces the shard's control-plane registry views
+      ([<view_ns>.breaker.*], [<view_ns>.program.*]). *)
+
+  val sink : dp -> sink
+  val control : dp -> Rmt.Control.t
+  val table : dp -> Rmt.Table.t
+  val vm : dp -> Rmt.Vm.t
+  val digest : dp -> int
+  (** Xor over tenants of their rolling decision digests: identical for
+      any shard count and any batch boundaries (per-tenant FIFO is
+      preserved end to end; the cross-tenant combine is commutative). *)
+
+  val tenant_count : dp -> int
+
+  val hook : string
+  (** The hook the serve table is attached to ([lookup_swap_cache]). *)
+
+  val program_name : string
+  val fallback_marker : int
+  (** Per-slot result while the shard's breaker serves the stock
+      fallback; distinguishable from any real collect result. *)
+
+  val digest_key : int
+end

@@ -21,4 +21,5 @@ let () =
          Test_par.suite;
          Test_obs.suite;
          Test_failsafe.suite;
-         Test_batch.suite ])
+         Test_batch.suite;
+         Test_serve.suite ])

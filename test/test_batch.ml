@@ -448,6 +448,81 @@ let test_prefetch_duplicate_pids_fall_back () =
   in
   Alcotest.(check (list (list int))) "duplicate pids served scalar semantics" expected got
 
+(* ---------------- Mixed-action batched lookup ---------------- *)
+
+(* A batch whose slots resolve to different actions (Const default, Run,
+   Host) cannot take the uniform SoA path; every slot must still get
+   exactly its scalar-lookup result. *)
+let test_lookup_batch_mixed_actions () =
+  let control, _vma, vmb = twin_installs () in
+  let table =
+    Control.create_table control ~name:"mixed" ~match_keys:[| 0 |]
+      ~default:(Table.Const 7)
+  in
+  let (_ : Table.entry_id) = Table.insert table ~patterns:[| Table.Eq 1 |] (Table.Run vmb) in
+  let (_ : Table.entry_id) =
+    Table.insert table ~patterns:[| Table.Eq 2 |]
+      (Table.Host (fun ctxt -> Ctxt.get ctxt 11 + 1000))
+  in
+  let k = 6 in
+  let b = Batch.create ~capacity:k in
+  for s = 0 to k - 1 do
+    fill_slot b.Batch.ctxts.(s) s;
+    Ctxt.set b.Batch.ctxts.(s) 0 (s mod 3) (* 0 -> Const, 1 -> Run, 2 -> Host *)
+  done;
+  Batch.set_n b k;
+  Table.lookup_batch table b ~now:now0;
+  for s = 0 to k - 1 do
+    let ctxt = Ctxt.create () in
+    fill_slot ctxt s;
+    Ctxt.set ctxt 0 (s mod 3);
+    Alcotest.(check int)
+      (Printf.sprintf "slot %d mixed batch = scalar" s)
+      (Table.lookup table ~ctxt ~now:now0)
+      b.Batch.results.(s);
+    Alcotest.(check bool) (Printf.sprintf "slot %d clean" s) true (b.Batch.traps.(s) = None)
+  done
+
+(* ---------------- Open breaker serves whole batches ---------------- *)
+
+let test_fire_batch_breaker_open_fallback () =
+  let control, _vma, vmb = twin_installs () in
+  Control.set_clock control now0;
+  let table =
+    Control.create_table control ~name:"t" ~match_keys:[| 0 |] ~default:(Table.Run vmb)
+  in
+  Control.attach control ~hook:"h" table;
+  let breaker =
+    Control.protect control ~hook:"h" ~programs:[ "dut" ]
+      ~fallback:(fun ctxt -> Ctxt.get ctxt 0 + 500)
+      ()
+  in
+  let k = 5 in
+  let b = Batch.create ~capacity:k in
+  for s = 0 to k - 1 do
+    fill_slot b.Batch.ctxts.(s) s;
+    Ctxt.set b.Batch.ctxts.(s) 0 s;
+    (* Stale slot metadata the open-breaker path must clear. *)
+    b.Batch.traps.(s) <- Some Interp.Trap_fuel;
+    b.Batch.steps.(s) <- 99;
+    b.Batch.denied.(s) <- 99
+  done;
+  Batch.set_n b k;
+  Breaker.trip breaker ~now:0;
+  let before = Pipeline.fallback_served (Control.pipeline control) ~hook:"h" in
+  Alcotest.(check bool) "dispatched" true (Control.fire_batch control ~hook:"h" b);
+  for s = 0 to k - 1 do
+    Alcotest.(check int) (Printf.sprintf "slot %d stock fallback" s) (s + 500)
+      b.Batch.results.(s);
+    Alcotest.(check bool) (Printf.sprintf "slot %d trap cleared" s) true
+      (b.Batch.traps.(s) = None);
+    Alcotest.(check int) (Printf.sprintf "slot %d steps cleared" s) 0 b.Batch.steps.(s);
+    Alcotest.(check int) (Printf.sprintf "slot %d denials cleared" s) 0 b.Batch.denied.(s)
+  done;
+  Alcotest.(check int) "fallback_served counts every slot" (before + k)
+    (Pipeline.fallback_served (Control.pipeline control) ~hook:"h");
+  Alcotest.(check bool) "breaker still open" true (Breaker.state breaker = Breaker.Open)
+
 let suite =
   [ ( "batch",
     [ Alcotest.test_case "SoA kernel matches scalar invokes" `Quick test_soa_scalar_equivalence;
@@ -468,4 +543,8 @@ let suite =
       Alcotest.test_case "prefetch batch entry = scalar loop" `Quick
         test_prefetch_on_access_batch;
       Alcotest.test_case "prefetch duplicate pids fall back" `Quick
-        test_prefetch_duplicate_pids_fall_back ] ) ]
+        test_prefetch_duplicate_pids_fall_back;
+      Alcotest.test_case "mixed-action lookup_batch = scalar" `Quick
+        test_lookup_batch_mixed_actions;
+      Alcotest.test_case "open breaker serves whole batches" `Quick
+        test_fire_batch_breaker_open_fallback ] ) ]

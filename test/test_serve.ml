@@ -1,0 +1,289 @@
+(* Tests for the sharded serving layer (DESIGN.md section 14): SPSC ring
+   semantics, digest determinism across shard counts and drain modes,
+   per-shard breaker and canary isolation, fault-plan capture into
+   pinned workers, the obs stripe guard, and steady-state allocation. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- Ring ---------------- *)
+
+let test_ring_fifo_wrap_full () =
+  let r = Serve.Ring.create ~capacity:6 in
+  check_int "capacity rounds up to a power of two" 8 (Serve.Ring.capacity r);
+  check_bool "fresh ring is empty" true (Serve.Ring.is_empty r);
+  for i = 0 to 7 do
+    check_bool "push admits while free" true
+      (Serve.Ring.try_push r ~tenant:i ~page:(i * 10) ~stamp:(i * 100))
+  done;
+  check_bool "full ring refuses" false (Serve.Ring.try_push r ~tenant:99 ~page:0 ~stamp:0);
+  check_int "length sees the backlog" 8 (Serve.Ring.length r);
+  let tenants = Array.make 8 (-1)
+  and pages = Array.make 8 (-1)
+  and stamps = Array.make 8 (-1) in
+  let n = Serve.Ring.drain_into r ~max:5 tenants pages stamps in
+  check_int "drain honors max" 5 n;
+  for i = 0 to 4 do
+    check_int "tenant fifo" i tenants.(i);
+    check_int "page fifo" (i * 10) pages.(i);
+    check_int "stamp fifo" (i * 100) stamps.(i)
+  done;
+  (* Refill past the array edge: cursors are monotonic, slots wrap. *)
+  for i = 8 to 12 do
+    check_bool "push after partial drain" true
+      (Serve.Ring.try_push r ~tenant:i ~page:(i * 10) ~stamp:(i * 100))
+  done;
+  let n = Serve.Ring.drain_into r ~max:8 tenants pages stamps in
+  check_int "drains the remainder" 8 n;
+  for i = 0 to 7 do
+    check_int "fifo across the wrap" (5 + i) tenants.(i)
+  done;
+  check_bool "drained ring is empty" true (Serve.Ring.is_empty r)
+
+(* ---------------- Shared fixtures ---------------- *)
+
+let tenant_on fleet shard =
+  let rec find t =
+    if Serve.Serving.shard_of_tenant fleet t = shard then t else find (t + 1)
+  in
+  find 0
+
+let submit_exn fleet ~tenant ~page =
+  match Serve.Serving.submit fleet ~producer:0 ~tenant ~page with
+  | `Admitted -> ()
+  | `Throttled -> Alcotest.fail "unlimited fleet throttled"
+  | `Backpressure -> Alcotest.fail "unexpected backpressure"
+
+let breaker_of dp =
+  match
+    Rmt.Pipeline.breaker
+      (Rmt.Control.pipeline (Serve.Shard.Datapath.control dp))
+      ~hook:Serve.Shard.Datapath.hook
+  with
+  | Some b -> b
+  | None -> Alcotest.fail "shard datapath hook is protected"
+
+let fallbacks_of dp =
+  Rmt.Pipeline.fallback_served
+    (Rmt.Control.pipeline (Serve.Shard.Datapath.control dp))
+    ~hook:Serve.Shard.Datapath.hook
+
+(* ---------------- Digest determinism ---------------- *)
+
+let serve_trace () =
+  let rng = Kml.Rng.create 0x5e4e in
+  Ksim.Workload_mem.multi_tenant ~rng ~tenants:12 ~events_per_tenant:40 ~pages:512 ()
+
+(* Feed the same trace to a fleet of [shards] shards, inline or pinned,
+   and report (served, digest). *)
+let run_fleet ~shards ~pinned trace =
+  let config =
+    { Serve.Serving.default_config with shards; ring_capacity = 128; max_batch = 16 }
+  in
+  let fleet, _dps = Serve.Serving.create_datapath ~config () in
+  if pinned then Serve.Serving.start fleet;
+  List.iter
+    (fun (a : Ksim.Workload_mem.access) ->
+      let rec push () =
+        match Serve.Serving.submit fleet ~producer:0 ~tenant:a.pid ~page:a.page with
+        | `Admitted -> ()
+        | `Throttled -> Alcotest.fail "unlimited fleet throttled"
+        | `Backpressure ->
+          if pinned then Domain.cpu_relax ()
+          else ignore (Serve.Serving.drain fleet : int);
+          push ()
+      in
+      push ())
+    trace;
+  if pinned then Serve.Serving.stop fleet else Serve.Serving.drain_until_idle fleet;
+  (Serve.Serving.served fleet, Serve.Serving.digest fleet)
+
+let test_digest_across_widths () =
+  let trace = serve_trace () in
+  let n = List.length trace in
+  let served1, d1 = run_fleet ~shards:1 ~pinned:false trace in
+  let served3, d3 = run_fleet ~shards:3 ~pinned:false trace in
+  let served4, d4 = run_fleet ~shards:4 ~pinned:true trace in
+  check_int "inline/1 serves every event" n served1;
+  check_int "inline/3 serves every event" n served3;
+  check_int "pinned/4 serves every event" n served4;
+  check_bool "digest is nontrivial" true (d1 <> 0);
+  check_bool "1 and 3 shards agree" true (d1 = d3);
+  check_bool "inline and pinned agree" true (d1 = d4)
+
+(* ---------------- Per-shard breaker isolation ---------------- *)
+
+let test_breaker_trip_is_shard_local () =
+  let config = { Serve.Serving.default_config with shards = 2; max_batch = 8 } in
+  let fleet, dps = Serve.Serving.create_datapath ~config () in
+  let t0 = tenant_on fleet 0 and t1 = tenant_on fleet 1 in
+  submit_exn fleet ~tenant:t0 ~page:1;
+  submit_exn fleet ~tenant:t1 ~page:1;
+  ignore (Serve.Serving.drain fleet : int);
+  let d1_before = Serve.Shard.Datapath.digest dps.(1) in
+  (* Trip shard 0's breaker through the control-command queue — the same
+     route rkdctl and the front-end use — then keep serving both. *)
+  Serve.Serving.post_tenant fleet ~tenant:t0 (fun () ->
+      Rmt.Breaker.trip (breaker_of dps.(0)) ~now:0);
+  for i = 2 to 9 do
+    submit_exn fleet ~tenant:t0 ~page:i;
+    submit_exn fleet ~tenant:t1 ~page:i
+  done;
+  Serve.Serving.drain_until_idle fleet;
+  check_bool "tripped shard is open" true
+    (Rmt.Breaker.state (breaker_of dps.(0)) = Rmt.Breaker.Open);
+  check_bool "tripped shard serves the stock fallback" true (fallbacks_of dps.(0) >= 8);
+  check_int "peer shard never falls back" 0 (fallbacks_of dps.(1));
+  check_bool "peer breaker stays closed" true
+    (Rmt.Breaker.state (breaker_of dps.(1)) = Rmt.Breaker.Closed);
+  check_bool "peer keeps making real decisions" true
+    (Serve.Shard.Datapath.digest dps.(1) <> d1_before);
+  check_int "every event was still served" 18 (Serve.Serving.served fleet)
+
+(* ---------------- Per-shard canary transactions ---------------- *)
+
+let test_canary_routes_per_shard () =
+  let config = { Serve.Serving.default_config with shards = 2; max_batch = 8 } in
+  let fleet, dps = Serve.Serving.create_datapath ~config () in
+  let c0 = Serve.Shard.Datapath.control dps.(0)
+  and c1 = Serve.Shard.Datapath.control dps.(1) in
+  let name = Serve.Shard.Datapath.program_name in
+  let status c =
+    match Rmt.Control.canary_status c name with
+    | Some s -> s
+    | None -> Alcotest.fail "serve program is installed"
+  in
+  check_bool "idle before staging" true (status c0 = `Idle);
+  let prog =
+    Rkd.Prefetch_rmt.build_collect_program Rkd.Prefetch_rmt.default_params
+  in
+  (match Rmt.Control.install_canary c0 ~invocations:4 ~max_divergences:4 ~grace:2 prog with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "canary install: %s" e);
+  check_bool "staged on shard 0" true
+    (match status c0 with `Canary _ -> true | _ -> false);
+  check_bool "peer shard untouched" true (status c1 = `Idle);
+  (* Shadow traffic on shard 0 only: identical program text diverges
+     nowhere, so it promotes and its grace window closes. *)
+  let t0 = tenant_on fleet 0 in
+  let rec drive i =
+    if status c0 <> `Idle && i < 64 then begin
+      submit_exn fleet ~tenant:t0 ~page:i;
+      Serve.Serving.drain_until_idle fleet;
+      drive (i + 1)
+    end
+  in
+  drive 0;
+  check_bool "promoted through its grace window" true (status c0 = `Idle);
+  (* A re-staged canary aborts cleanly, still shard-locally. *)
+  (match Rmt.Control.install_canary c0 ~invocations:8 ~grace:2 prog with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "second canary: %s" e);
+  check_bool "second canary staged" true
+    (match status c0 with `Canary _ -> true | _ -> false);
+  check_bool "rollback accepted" true (Rmt.Control.rollback_program c0 name);
+  check_bool "rolled back to idle" true (status c0 = `Idle);
+  check_bool "peer shard still idle" true (status c1 = `Idle)
+
+(* ---------------- Fault capture into pinned workers ---------------- *)
+
+(* Regression for the serving chaos mode: fault plans are domain-local
+   (DLS), so a plan armed on the control domain must be captured by
+   [Serving.start] and re-armed inside each pinned shard worker —
+   otherwise RKD_FAULTS never reaches the datapaths it is meant to
+   shake. *)
+let test_fault_plan_reaches_pinned_workers () =
+  let before = Rmt.Fault.injected Rmt.Fault.Table_miss in
+  Rmt.Fault.with_plan ~seed:11
+    [ (Rmt.Fault.Table_miss, 1.0) ]
+    (fun () ->
+      let config = { Serve.Serving.default_config with shards = 2 } in
+      let fleet, _dps = Serve.Serving.create_datapath ~config () in
+      Serve.Serving.start fleet;
+      for i = 0 to 63 do
+        let rec push () =
+          match
+            Serve.Serving.submit fleet ~producer:0 ~tenant:(i land 7) ~page:i
+          with
+          | `Admitted -> ()
+          | `Throttled -> Alcotest.fail "unlimited fleet throttled"
+          | `Backpressure ->
+            Domain.cpu_relax ();
+            push ()
+        in
+        push ()
+      done;
+      Serve.Serving.stop fleet;
+      check_int "every event served under faults" 64 (Serve.Serving.served fleet));
+  let fired = Rmt.Fault.injected Rmt.Fault.Table_miss - before in
+  check_bool "plan armed on the control domain fired inside shard workers" true
+    (fired > 0)
+
+(* ---------------- Obs stripe guard ---------------- *)
+
+let test_stripe_guard () =
+  let cap = Obs.stripe_capacity in
+  check_bool "stripe capacity is positive" true (cap > 0);
+  check_int "in-range id maps to itself" 3 (Obs.stripe_of_id 3);
+  let big = (cap * 7) + 5 in
+  let s = Obs.stripe_of_id big in
+  check_bool "overflow id is masked into range" true (s >= 0 && s < cap);
+  check_bool "overflow high-water recorded" true (Obs.stripe_overflow_max_id () >= big)
+
+(* ---------------- Steady-state allocation ---------------- *)
+
+(* Same tolerance story as test_batch: Gc.minor_words itself boxes a
+   float, so a small measurement-noise allowance; real per-event
+   allocation would cost >= 2 words x 8 events x 1000 passes. *)
+let test_zero_alloc_steady_state () =
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled was)
+    (fun () ->
+      let config =
+        { Serve.Serving.default_config with
+          shards = 1;
+          max_batch = 16;
+          ring_capacity = 64 }
+      in
+      let fleet, _dps = Serve.Serving.create_datapath ~config () in
+      Serve.Serving.set_now fleet 1_000;
+      let pass () =
+        for t = 0 to 7 do
+          match
+            Serve.Serving.submit fleet ~producer:0 ~tenant:t ~page:(t * 17 land 511)
+          with
+          | `Admitted -> ()
+          | `Throttled | `Backpressure -> Alcotest.fail "steady-state submit refused"
+        done;
+        ignore (Serve.Serving.drain fleet : int)
+      in
+      for _ = 1 to 100 do
+        pass ()
+      done;
+      let before = Gc.minor_words () in
+      for _ = 1 to 1_000 do
+        pass ()
+      done;
+      let delta = Gc.minor_words () -. before in
+      if delta > 256.0 then
+        Alcotest.failf "steady-state serve loop allocated %.0f minor words" delta)
+
+let suite =
+  [ ( "serve",
+      [ Alcotest.test_case "ring fifo, wrap, full" `Quick test_ring_fifo_wrap_full;
+        Alcotest.test_case "digest stable across widths and modes" `Quick
+          test_digest_across_widths;
+        Alcotest.test_case "breaker trip is shard-local" `Quick
+          test_breaker_trip_is_shard_local;
+        Alcotest.test_case "canary transactions route per shard" `Quick
+          test_canary_routes_per_shard;
+        Alcotest.test_case "fault plan reaches pinned workers" `Quick
+          test_fault_plan_reaches_pinned_workers;
+        Alcotest.test_case "obs stripe guard masks overflow ids" `Quick
+          test_stripe_guard;
+        Alcotest.test_case "steady-state serve loop is allocation-free" `Quick
+          test_zero_alloc_steady_state
+      ] )
+  ]
