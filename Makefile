@@ -1,5 +1,6 @@
 .PHONY: all build test bench table1 table2 ablations micro bench-json perf-check \
-        bench-macro perf-check-macro bench-throughput check lint chaos examples clean
+        bench-macro perf-check-macro bench-throughput check lint analyze chaos \
+        examples clean
 
 all: build
 
@@ -52,6 +53,20 @@ bench-throughput:
 lint:
 	dune exec bin/rkdctl.exe -- absint-fuzz --trials 1500
 
+# Static analysis gate (DESIGN.md section 15), three legs:
+#   1. every program the repo ships lints clean (--strict exits nonzero
+#      on any finding — a false positive fails the build);
+#   2. every seeded-defect mutant in the corpus is caught by its
+#      expected rule (--mutations validates the lint itself);
+#   3. the serving-plane protocols model-check exhaustively at small
+#      scope, and the deliberately broken variants still produce
+#      counterexample traces (--self-test validates the models).
+analyze:
+	dune exec bin/rkdctl.exe -- analyze --strict
+	dune exec bin/rkdctl.exe -- analyze --mutations
+	dune exec bin/rkdctl.exe -- mc
+	dune exec bin/rkdctl.exe -- mc --self-test
+
 # Chaos soak (DESIGN.md section 12): 1000 seeded fault scenarios at pool
 # widths 1 and 4 — zero uncaught exceptions, every breaker re-closed
 # (rkdctl exits non-zero otherwise), and bit-identical digests across
@@ -67,11 +82,13 @@ chaos:
 	RKD_FAULTS=all:0.01 dune exec bin/rkdctl.exe -- serve --soak --shards 2
 	RKD_FAULTS=all:0.01 dune exec bin/rkdctl.exe -- serve --soak --shards 4
 
-# The umbrella CI gate: warning-clean build, absint fuzz smoke, full test
-# suite, chaos soak, micro perf regression check.
+# The umbrella CI gate: warning-clean build, absint fuzz smoke, static
+# analysis (lint corpus + protocol model checking), full test suite,
+# chaos soak, micro perf regression check.
 check:
 	dune build @all
 	$(MAKE) lint
+	$(MAKE) analyze
 	dune runtest --force --no-buffer
 	$(MAKE) chaos
 	$(MAKE) perf-check

@@ -157,6 +157,218 @@ let resources_cmd =
   in
   Cmd.v (Cmd.info "resources" ~doc) Term.(const run $ json_arg)
 
+(* Lint a list of (name, program) pairs, printing findings and the
+   resource-use summary; returns the total finding count and the JSON
+   lines for --json. *)
+let lint_programs ~helpers progs =
+  let budget = Rmt.Resource.default_budget in
+  let total = ref 0 in
+  let json = ref [] in
+  let failed = ref false in
+  List.iter
+    (fun (name, prog) ->
+      match Analysis.Lint.analyze ~helpers prog with
+      | Error e ->
+        Format.printf "%s: NOT VERIFIABLE: %s@." name e;
+        failed := true
+      | Ok findings ->
+        Format.printf "%s: %d finding%s@." name (List.length findings)
+          (if List.length findings = 1 then "" else "s");
+        List.iter (fun f -> Format.printf "  %a@." Analysis.Lint.pp_finding f) findings;
+        (match Rmt.Verifier.check_structure_only ~helpers prog with
+         | Ok report ->
+           List.iter
+             (fun (axis, used, allowed) ->
+               Format.printf "  resource %s: %d / %d@." axis used allowed)
+             (Analysis.Lint.resource_waste report prog ~budget)
+         | Error _ -> ());
+        total := !total + List.length findings;
+        json := Analysis.Lint.findings_to_json ~program:name findings :: !json)
+    progs;
+  (!total, List.rev !json, !failed)
+
+let write_json_lines path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+
+let analyze_cmd =
+  let run files json_path strict mutations =
+    let helpers = Rmt.Helper.with_defaults () in
+    if mutations then begin
+      (* Validate the lint itself: every seeded-defect mutant must be
+         caught by its expected rule. *)
+      let missed = ref 0 in
+      let json = ref [] in
+      List.iter
+        (fun (name, expected, prog) ->
+          match Analysis.Lint.analyze ~helpers prog with
+          | Error e ->
+            Format.printf "[MISS] %s: did not verify: %s@." name e;
+            incr missed
+          | Ok findings ->
+            let caught =
+              List.exists (fun f -> f.Analysis.Lint.rule = expected) findings
+            in
+            Format.printf "[%s] %s: expected %s, got %d finding%s@."
+              (if caught then "CAUGHT" else "MISS")
+              name expected (List.length findings)
+              (if List.length findings = 1 then "" else "s");
+            if not caught then begin
+              List.iter (fun f -> Format.printf "  %a@." Analysis.Lint.pp_finding f) findings;
+              incr missed
+            end;
+            json := Analysis.Lint.findings_to_json ~program:name findings :: !json)
+        (Analysis.Corpus.mutants ());
+      Option.iter (fun p -> write_json_lines p (List.rev !json)) json_path;
+      Format.printf "mutation corpus: %d/%d caught@."
+        (List.length (Analysis.Corpus.mutants ()) - !missed)
+        (List.length (Analysis.Corpus.mutants ()));
+      if !missed = 0 then 0 else 1
+    end
+    else begin
+      let progs =
+        match files with
+        | [] ->
+          (* No files: lint every real program the repo ships. *)
+          Analysis.Corpus.clean ()
+        | files ->
+          List.filter_map
+            (fun path ->
+              match parse_program path with
+              | Ok prog -> Some (prog.Rmt.Program.name, prog)
+              | Error e ->
+                prerr_endline e;
+                None)
+            files
+      in
+      let total, json, failed = lint_programs ~helpers progs in
+      Option.iter (fun p -> write_json_lines p json) json_path;
+      Format.printf "%d program%s, %d finding%s@." (List.length progs)
+        (if List.length progs = 1 then "" else "s")
+        total
+        (if total = 1 then "" else "s");
+      if failed || List.length progs < List.length files then 1
+      else if strict && total > 0 then 1
+      else 0
+    end
+  in
+  let files_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"FILE"
+             ~doc:"RMT assembly or encoded programs to lint; with no FILE, lint every \
+                   program the repo ships (the clean corpus).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write per-program findings as JSON lines to FILE (CI artifact).")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit nonzero when any finding is reported.")
+  in
+  let mutations_arg =
+    Arg.(value & flag
+         & info [ "mutations" ]
+             ~doc:"Run the seeded-defect mutation corpus instead: exit nonzero unless \
+                   every mutant is caught by its expected rule.")
+  in
+  let doc =
+    "lint datapath programs against the verifier's abstract-interpretation facts: dead \
+     stores, unreachable code, statically dead branch arms, redundant guards, \
+     taint-laundering map reads, unused declarations, oversized scratchpads"
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ files_arg $ json_arg $ strict_arg $ mutations_arg)
+
+let mc_cmd =
+  let run json_path self_test no_reduction max_states =
+    let reduction = not no_reduction in
+    let json = ref [] in
+    let check expect_fail model =
+      let module M = (val model : Analysis.Mc.MODEL) in
+      let t0 = Unix.gettimeofday () in
+      let outcome = Analysis.Mc.run ~reduction ?max_states model in
+      let dt = Unix.gettimeofday () -. t0 in
+      let stats = Analysis.Mc.stats_of outcome in
+      let ok =
+        match (outcome, expect_fail) with
+        | Analysis.Mc.Pass _, false | Analysis.Mc.Fail _, true -> true
+        | _ -> false
+      in
+      Format.printf "[%s] %s: %a (%.2fs)@."
+        (if ok then "PASS" else "FAIL")
+        M.name Analysis.Mc.pp_outcome outcome dt;
+      (match (outcome, expect_fail) with
+       | Analysis.Mc.Pass _, true ->
+         Format.printf "  expected a counterexample from this broken variant@."
+       | Analysis.Mc.Fail _, false -> ()
+       | _ -> ());
+      json :=
+        Printf.sprintf
+          "{\"model\":\"%s\",\"verdict\":\"%s\",\"expected\":\"%s\",\"states\":%d,\
+           \"transitions\":%d,\"sleep_skips\":%d,\"max_depth\":%d,\"seconds\":%.3f}"
+          M.name
+          (Analysis.Mc.verdict_name outcome)
+          (if expect_fail then "fail" else "pass")
+          stats.Analysis.Mc.states stats.Analysis.Mc.transitions
+          stats.Analysis.Mc.sleep_skips stats.Analysis.Mc.max_depth dt
+        :: !json;
+      ok
+    in
+    let results =
+      if self_test then
+        (* Broken protocol variants: each must yield a counterexample
+           trace — the models (and properties) can detect the bugs they
+           were built to catch. *)
+        [ check true
+            (Analysis.Mc_models.ring ~bug:Analysis.Mc_models.Stale_cached_head ~capacity:2
+               ~pushes:3 ~max_batch:2 ());
+          check true
+            (Analysis.Mc_models.ring ~bug:Analysis.Mc_models.No_drain_refresh ~capacity:2
+               ~pushes:3 ~max_batch:2 ());
+          check true
+            (Analysis.Mc_models.shard ~bug:Analysis.Mc_models.Dropped_wake ~pushes:2
+               ~posts:1 ()) ]
+      else
+        [ check false (Analysis.Mc_models.ring ~capacity:2 ~pushes:4 ~max_batch:2 ());
+          check false (Analysis.Mc_models.ring ~capacity:4 ~pushes:6 ~max_batch:2 ());
+          check false (Analysis.Mc_models.shard ~pushes:3 ~posts:1 ()) ]
+    in
+    Option.iter (fun p -> write_json_lines p (List.rev !json)) json_path;
+    if List.for_all Fun.id results then 0 else 1
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write per-model verdicts and state counts as JSON lines to FILE (CI \
+                   artifact).")
+  in
+  let self_test_arg =
+    Arg.(value & flag
+         & info [ "self-test" ]
+             ~doc:"Check the deliberately broken protocol variants instead: each must \
+                   produce a counterexample trace.")
+  in
+  let no_reduction_arg =
+    Arg.(value & flag
+         & info [ "no-reduction" ]
+             ~doc:"Disable the sleep-set reduction (same verdicts, more transitions).")
+  in
+  let max_states_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-states" ] ~docv:"N" ~doc:"Abort after exploring N states.")
+  in
+  let doc =
+    "exhaustively model-check the serving-plane protocols (SPSC ring push/drain, shard \
+     park/wake + pending CAS) at small scope: FIFO order, no lost push, no lost wake, \
+     cursor monotonicity, quiescent-drain completeness"
+  in
+  Cmd.v (Cmd.info "mc" ~doc)
+    Term.(const run $ json_arg $ self_test_arg $ no_reduction_arg $ max_states_arg)
+
 let absint_fuzz_cmd =
   let run trials seed =
     match Rmt.Fuzz.run ~seed ~trials () with
@@ -649,7 +861,8 @@ let main =
   in
   Cmd.group
     (Cmd.info "rkdctl" ~version:"1.0.0" ~doc)
-    [ verify_cmd; resources_cmd; disasm_cmd; run_cmd; assemble_cmd; absint_fuzz_cmd;
+    [ verify_cmd; resources_cmd; analyze_cmd; mc_cmd; disasm_cmd; run_cmd; assemble_cmd;
+      absint_fuzz_cmd;
       decode_fuzz_cmd; chaos_cmd; serve_cmd; stats_cmd; trace_cmd; table1_cmd; table2_cmd;
       ablations_cmd; overhead_cmd; shapes_cmd ]
 

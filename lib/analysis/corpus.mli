@@ -1,0 +1,21 @@
+(** Lint validation corpus (DESIGN.md §15).
+
+    Two program sets that pin {!Lint}'s precision from both sides:
+
+    - {!clean} — every real program the repo ships (the prefetcher's
+      collect/predict pair, the scheduler's migration program in both its
+      contiguous and sparse-feature forms, the cascade's two stages, the
+      quickstart's assembled program, the privacy experiment's aggregate
+      query, and the chaos harness's churn program).  The lint must
+      report {e zero} findings on each: a rule that fires here is a
+      false positive and fails CI.
+    - {!mutants} — ≥ 12 seeded-defect variants, each carrying exactly
+      one deliberate smell and the rule expected to catch it.  The lint
+      must flag every one under [--strict]. *)
+
+val clean : unit -> (string * Rmt.Program.t) list
+(** [(name, program)] — programs that must lint clean. *)
+
+val mutants : unit -> (string * string * Rmt.Program.t) list
+(** [(name, expected_rule, program)] — each program passes the verifier
+    but must produce at least one finding with [expected_rule]. *)

@@ -1,0 +1,153 @@
+(* Explicit-state model checking engine: DFS over canonical state keys
+   with a sleep-set partial-order reduction (DESIGN.md section 15).
+
+   Sleep sets prune redundant transitions, not states: after exploring
+   action [a] from state [s], every action [b] already explored from [s]
+   that is independent of [a] goes into the sleep set of [a]'s successor
+   — the [b;a] order was (or will be) covered from [s] directly, so
+   re-firing [b] first from [s.a] only rediscovers the commuted diamond.
+   Because a state reached with sleep set Z is expanded with {e fewer}
+   transitions the bigger Z is, the visited cache must re-expand a state
+   when it reappears with a sleep set not covered by (a superset of) one
+   already expanded — the standard covering fix that keeps sleep sets
+   sound in combination with state caching. *)
+
+type action = { label : string; tid : int }
+
+type stats = {
+  states : int;
+  transitions : int;
+  sleep_skips : int;
+  max_depth : int;
+}
+
+module type MODEL = sig
+  type state
+
+  val name : string
+  val initial : state
+  val key : state -> string
+  val render : state -> string
+  val step : state -> (action * state) list
+  val error : state -> string option
+  val accept : state -> string option
+  val independent : action -> action -> bool
+end
+
+type outcome =
+  | Pass of stats
+  | Fail of { stats : stats; property : string; trace : (action * string) list }
+
+(* [z'] covers [z]: every action slept in [z'] is slept in [z], so an
+   expansion under [z'] explored a superset of what [z] would. *)
+let covers z' z = List.for_all (fun a -> List.exists (fun b -> b.label = a.label) z) z'
+
+let run ?(reduction = true) ?(max_states = 2_000_000) (module M : MODEL) =
+  let visited : (string, action list list) Hashtbl.t = Hashtbl.create 4096 in
+  (* First-discovery back-pointer per key: parent key, incoming action,
+     and the state itself (for trace rendering).  Every recorded edge was
+     produced by [M.step], so following the chain from a violating key
+     back to the initial state yields a genuine execution. *)
+  let parent : (string, (string * action * M.state) option) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  let states = ref 0 in
+  let transitions = ref 0 in
+  let sleep_skips = ref 0 in
+  let max_depth = ref 0 in
+  let stack = Stack.create () in
+  let init_key = M.key M.initial in
+  Hashtbl.replace parent init_key None;
+  Stack.push (M.initial, init_key, ([] : action list), 0) stack;
+  let failure = ref None in
+  let fail property key = failure := Some (property, key) in
+  (try
+     while not (Stack.is_empty stack) do
+       let s, k, sleep, depth = Stack.pop stack in
+       if depth > !max_depth then max_depth := depth;
+       (match M.error s with
+        | Some property ->
+          fail property k;
+          raise Exit
+        | None -> ());
+       let prior = match Hashtbl.find_opt visited k with Some l -> l | None -> [] in
+       if List.exists (fun z' -> covers z' sleep) prior then ()
+       else begin
+         if prior = [] then begin
+           incr states;
+           if !states > max_states then begin
+             fail
+               (Printf.sprintf "state space exceeded %d states (scope too large)"
+                  max_states)
+               k;
+             raise Exit
+           end
+         end;
+         Hashtbl.replace visited k (sleep :: prior);
+         match M.step s with
+         | [] ->
+           (match M.accept s with
+            | None -> ()
+            | Some property ->
+              fail property k;
+              raise Exit)
+         | enabled ->
+           (* Explore in order; actions already explored from this state
+              feed the sleep sets of later successors. *)
+           let explored_here = ref [] in
+           List.iter
+             (fun (a, s') ->
+               if reduction && List.exists (fun b -> b.label = a.label) sleep then
+                 incr sleep_skips
+               else begin
+                 incr transitions;
+                 let k' = M.key s' in
+                 if not (Hashtbl.mem parent k') then
+                   Hashtbl.replace parent k' (Some (k, a, s'));
+                 let child_sleep =
+                   if not reduction then []
+                   else
+                     List.filter
+                       (fun b -> M.independent a b)
+                       (sleep @ List.rev !explored_here)
+                 in
+                 Stack.push (s', k', child_sleep, depth + 1) stack;
+                 explored_here := a :: !explored_here
+               end)
+             enabled
+       end
+     done
+   with Exit -> ());
+  let stats =
+    { states = !states;
+      transitions = !transitions;
+      sleep_skips = !sleep_skips;
+      max_depth = !max_depth }
+  in
+  match !failure with
+  | None -> Pass stats
+  | Some (property, key) ->
+    (* Rebuild the counterexample from the back-pointers. *)
+    let rec chain k acc =
+      match Hashtbl.find_opt parent k with
+      | Some (Some (pk, a, s)) -> chain pk ((a, M.render s) :: acc)
+      | Some None | None -> acc
+    in
+    Fail { stats; property; trace = chain key [] }
+
+let verdict_name = function Pass _ -> "pass" | Fail _ -> "fail"
+let stats_of = function Pass s -> s | Fail f -> f.stats
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d states, %d transitions, %d sleep-skips, depth %d" s.states
+    s.transitions s.sleep_skips s.max_depth
+
+let pp_outcome ppf = function
+  | Pass s -> Format.fprintf ppf "pass (%a)" pp_stats s
+  | Fail { stats; property; trace } ->
+    Format.fprintf ppf "FAIL: %s (%a)@." property pp_stats stats;
+    Format.fprintf ppf "counterexample (%d steps):@." (List.length trace);
+    List.iteri
+      (fun i (a, state) ->
+        Format.fprintf ppf "  %2d. [t%d] %-16s -> %s@." (i + 1) a.tid a.label state)
+      trace

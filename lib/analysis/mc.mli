@@ -1,0 +1,92 @@
+(** Small-scope exhaustive concurrency model checker (DESIGN.md §15).
+
+    A model is an explicit transition system: a finite state, a [step]
+    function enumerating every enabled action with its successor, a
+    state-local [error] predicate (safety properties: lost pushes, FIFO
+    violations, cursor-cache validity), and an [accept] predicate judged
+    at terminal states (no enabled action — e.g. "the consumer sleeps
+    forever with work still queued" is the lost-wake violation).
+
+    {!run} enumerates every reachable state by DFS with state hashing
+    (each canonical state expanded once) and a DPOR-style {e sleep-set}
+    reduction: after exploring action [a] from a state, any action [b]
+    independent of [a] need not be re-explored first from [a]'s
+    successors — the [a;b] and [b;a] orders commute.  Sleep sets prune
+    redundant {e transitions}, never states, so every reachable state is
+    still visited and state-predicate properties are checked on the full
+    small-scope space; re-expansion is only skipped when a previously
+    explored sleep set covers the current one (the standard covering fix
+    for sleep sets + state caching).
+
+    Following the one-shared-access-per-transition modeling rule (see
+    {!Mc_models}), independence declared by a model must be {e valid}:
+    two actions of different threads are independent only when each
+    neither reads nor writes anything the other touches (including
+    state the error predicates consult). *)
+
+type action = {
+  label : string;  (** unique per (thread, operation) — names trace steps *)
+  tid : int;       (** acting thread *)
+}
+
+type stats = {
+  states : int;       (** distinct canonical states expanded *)
+  transitions : int;  (** transitions explored (post-reduction) *)
+  sleep_skips : int;  (** transitions pruned by sleep sets *)
+  max_depth : int;    (** deepest DFS path *)
+}
+
+module type MODEL = sig
+  type state
+
+  val name : string
+  val initial : state
+
+  val key : state -> string
+  (** Canonical encoding; states with equal keys are identified. *)
+
+  val render : state -> string
+  (** Human-readable one-line rendering for counterexample traces. *)
+
+  val step : state -> (action * state) list
+  (** Every enabled action with its successor.  Deterministic order. *)
+
+  val error : state -> string option
+  (** State-local safety violation, [Some property] to fail the run. *)
+
+  val accept : state -> string option
+  (** Judged only at terminal states (no enabled action): [None] when
+      terminating here is legitimate, [Some property] otherwise (e.g.
+      a deadlock with work still pending). *)
+
+  val independent : action -> action -> bool
+  (** Valid independence relation for the sleep-set reduction.  Must be
+      symmetric; returning [false] everywhere disables reduction for
+      this model (always sound). *)
+end
+
+type outcome =
+  | Pass of stats
+  | Fail of {
+      stats : stats;
+      property : string;
+      trace : (action * string) list;
+          (** counterexample: each step's action and a rendering of the
+              state it leads to, from the initial state to the
+              violation *)
+    }
+
+val run : ?reduction:bool -> ?max_states:int -> (module MODEL) -> outcome
+(** Exhaustive enumeration.  [reduction] (default true) toggles the
+    sleep-set pruning — verdicts and visited state sets are identical
+    either way, only [transitions]/[sleep_skips] differ.  Exceeding
+    [max_states] (default 2_000_000) fails with a "state space
+    exceeded" pseudo-property rather than running unbounded. *)
+
+val verdict_name : outcome -> string
+(** ["pass"] or ["fail"]. *)
+
+val stats_of : outcome -> stats
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Stats on one line for [Pass]; the violated property plus the full
+    numbered counterexample trace for [Fail]. *)

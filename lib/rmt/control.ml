@@ -14,7 +14,11 @@ type t = {
   mutable installs : int; (* indexes per-install Rng substreams *)
   retries : (string, retry) Hashtbl.t; (* update_model_checked backoff, per model *)
   view_ns : string; (* registry namespace for per-control-plane views *)
+  mutable gate : install_gate option; (* optional analysis gate on installs *)
 }
+
+and gate_verdict = Gate_ok | Gate_warn of string list | Gate_deny of string list
+and install_gate = Verifier.report -> Program.t -> gate_verdict
 
 (* Retry-with-backoff state for {!update_model_checked}: consecutive
    probe failures and the earliest clock at which the next attempt is
@@ -30,6 +34,9 @@ let c_fires = Obs.Counter.make "rmt.control.fires"
 (* Model-update failsafe totals (DESIGN.md section 12). *)
 let c_update_rollbacks = Obs.Counter.make "rmt.control.model_update_rollbacks"
 let c_update_deferred = Obs.Counter.make "rmt.control.model_update_deferred"
+
+(* Findings surfaced (but not enforced) by a [Gate_warn] install gate. *)
+let c_gate_warnings = Obs.Counter.make "rmt.control.gate_warnings"
 
 let update_backoff_base_ns = 1_000_000 (* 1 ms *)
 let update_backoff_max_ns = 1_000_000_000 (* 1 s *)
@@ -65,11 +72,13 @@ let create ?(engine = Vm.Jit_compiled) ?(limits = Verifier.default_limits) ?(see
     rng = Kml.Rng.create seed;
     installs = 0;
     retries = Hashtbl.create 8;
-    view_ns }
+    view_ns;
+    gate = None }
 
 let helpers t = t.helpers
 let models t = t.store
 let pipeline t = t.pipeline
+let set_install_gate t gate = t.gate <- gate
 
 (* Fault seam: clock skew perturbs every timestamp the datapath sees —
    rate limiters, breakers and backoff schedules must tolerate a clock
@@ -147,17 +156,32 @@ let prepare t ?(budget = Kml.Model_cost.default_budget) ?resource_budget ?(model
                 (String.concat "; " over_budget))
          end
          else begin
-           let maps = Array.map Map_store.create prog.map_specs in
-           let rng = Kml.Rng.split t.rng t.installs in
-           t.installs <- t.installs + 1;
-           match
-             Loaded.link ~rng ~proofs:report.Verifier.proof ~facts:report.Verifier.facts
-               ~store:t.store ~helpers:t.helpers ~maps ~models:handles prog
-           with
-           | loaded ->
-             Hashtbl.replace t.resources prog.name resource;
-             Ok loaded
-           | exception Invalid_argument msg -> Error msg
+           (* Optional analysis gate: runs on the same verifier report the
+              JIT specializes against, after all mandatory checks pass. *)
+           let gate_verdict =
+             match t.gate with None -> Gate_ok | Some gate -> gate report prog
+           in
+           match gate_verdict with
+           | Gate_deny msgs ->
+             Obs.Counter.incr c_install_rejected;
+             Error
+               (Printf.sprintf "analysis gate rejected %s: %s" prog.name
+                  (String.concat "; " msgs))
+           | Gate_ok | Gate_warn _ ->
+             (match gate_verdict with
+              | Gate_warn msgs -> Obs.Counter.add c_gate_warnings (List.length msgs)
+              | _ -> ());
+             let maps = Array.map Map_store.create prog.map_specs in
+             let rng = Kml.Rng.split t.rng t.installs in
+             t.installs <- t.installs + 1;
+             (match
+                Loaded.link ~rng ~proofs:report.Verifier.proof ~facts:report.Verifier.facts
+                  ~store:t.store ~helpers:t.helpers ~maps ~models:handles prog
+              with
+              | loaded ->
+                Hashtbl.replace t.resources prog.name resource;
+                Ok loaded
+              | exception Invalid_argument msg -> Error msg)
          end)
   end
 

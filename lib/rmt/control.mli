@@ -120,6 +120,26 @@ val rollback_program : t -> string -> bool
 (** Abort an in-flight canary, or undo a promotion whose grace window is
     still open.  [false] when there is nothing to roll back. *)
 
+type gate_verdict =
+  | Gate_ok
+  | Gate_warn of string list
+      (** surfaced through the [<view_ns>.control.gate_warnings] counter;
+          the install proceeds *)
+  | Gate_deny of string list  (** the install is refused *)
+
+type install_gate = Verifier.report -> Program.t -> gate_verdict
+(** An optional analysis pass run on every install path ({!install},
+    {!install_asm}, {!install_bytes}, {!install_canary}) after the
+    verifier and resource-budget checks succeed and before the program is
+    linked.  It sees the same {!Verifier.report} the JIT will specialize
+    against — e.g. [Analysis.Lint.install_gate] flags dead stores,
+    redundant guards and taint-laundering map reads at install time. *)
+
+val set_install_gate : t -> install_gate option -> unit
+(** Install (or with [None] remove) the analysis gate.  Denied installs
+    count toward [rmt.control.install_rejected] like verifier
+    rejections. *)
+
 val find_program : t -> string -> Vm.t option
 
 val resource_report : t -> string -> Resource.t option

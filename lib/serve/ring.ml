@@ -56,11 +56,11 @@ let try_push t ~tenant ~page ~stamp =
   let tail = Atomic.get t.tail in
   let cap = t.mask + 1 in
   let free =
-    tail - t.cached_head.(0) < cap
+    Protocol.push_free ~tail ~cached_head:t.cached_head.(0) ~capacity:cap
     || begin
       (* Apparent full: refresh the head snapshot and re-check. *)
       t.cached_head.(0) <- Atomic.get t.head;
-      tail - t.cached_head.(0) < cap
+      Protocol.push_free ~tail ~cached_head:t.cached_head.(0) ~capacity:cap
     end
   in
   if free then begin
@@ -80,18 +80,12 @@ let try_push t ~tenant ~page ~stamp =
    returning the count.  The caller guarantees the arrays hold [max]. *)
 let drain_into t ~max tenants pages stamps =
   let head = Atomic.get t.head in
-  let avail =
-    let a = t.cached_tail.(0) - head in
-    if a >= max then a
-    else begin
-      (* The snapshot cannot fill the batch: refresh it so events already
-         published are not left for the next sweep (under-filled batches
-         cost a dispatch each). *)
-      t.cached_tail.(0) <- Atomic.get t.tail;
-      t.cached_tail.(0) - head
-    end
-  in
-  let n = if avail < max then avail else max in
+  if not (Protocol.drain_ready ~cached_tail:t.cached_tail.(0) ~head ~max) then
+    (* The snapshot cannot fill the batch: refresh it so events already
+       published are not left for the next sweep (under-filled batches
+       cost a dispatch each). *)
+    t.cached_tail.(0) <- Atomic.get t.tail;
+  let n = Protocol.drain_batch ~cached_tail:t.cached_tail.(0) ~head ~max in
   if n <= 0 then 0
   else begin
     let d = t.data in
@@ -107,8 +101,21 @@ let drain_into t ~max tenants pages stamps =
   end
 
 (* Racy by design: exact when both sides are quiescent, a parking hint
-   otherwise (the park protocol re-checks under its mutex). *)
-let is_empty t = Atomic.get t.tail - Atomic.get t.head <= 0
+   otherwise (the park protocol re-checks under its mutex).
+
+   The snapshot order matters and is explicit — [tail] strictly before
+   [head].  (An expression like [Atomic.get t.tail - Atomic.get t.head]
+   would load head FIRST under OCaml's right-to-left evaluation order.)
+   With tail first, head can only have advanced by the time it is read,
+   so the difference never exceeds the true occupancy at the head-read
+   instant: the result is in [0, capacity] always, a lower bound on what
+   the consumer can drain and — since only the producer moves tail — an
+   upper bound on the occupancy the producer still has to cover.  Read
+   head first and a concurrent burst can yield a length above capacity. *)
 let length t =
-  let n = Atomic.get t.tail - Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  let n = tail - head in
   if n < 0 then 0 else n
+
+let is_empty t = length t = 0

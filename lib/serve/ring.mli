@@ -33,4 +33,12 @@ val is_empty : t -> bool
     park protocol re-checks it under the park mutex. *)
 
 val length : t -> int
-(** Racy snapshot of the queue depth. *)
+(** Racy snapshot of the queue depth, read as [tail] strictly before
+    [head] (both cursors only ever increase).  The ordering guarantee:
+    the result is always within [0, capacity]; it is a {e lower bound}
+    on the events available to the consumer (every counted event was
+    published before the tail read and none can be drained by anyone
+    else), and an {e upper bound} on the occupancy the producer still
+    faces (head can only have advanced since it was read).  Reading the
+    cursors in the opposite order admits transient values above
+    [capacity] under concurrent push/drain. *)

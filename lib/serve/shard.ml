@@ -7,6 +7,12 @@
    a per-shard circuit breaker, per-tenant execution-context slabs and a
    rolling per-tenant decision digest. *)
 
+(* Compile-time conformance: the real ring presents exactly the surface
+   the protocol module specifies, so the model checker's small-scope ring
+   (Analysis.Mc_models, built on the same Protocol decision functions)
+   and the implementation cannot drift apart silently. *)
+module _ : Protocol.SPSC = Ring
+
 type sink = {
   run : n:int -> tenants:int array -> pages:int array -> now:int -> unit;
   control : Rmt.Control.t option;
@@ -133,16 +139,25 @@ let rec rings_empty_from t i =
 
 let park t ~should_stop =
   Mutex.lock t.park_mutex;
-  Atomic.set t.parked true;
-  (* Re-check after publishing [parked]: a producer that pushed before it
-     could observe the flag left work we must not sleep on.  A spurious
-     wakeup just returns to the drain loop. *)
-  if (not (should_stop ()))
-     && rings_empty_from t 0
-     && (match Atomic.get t.pending with [] -> true | _ :: _ -> false)
-  then Condition.wait t.park_cond t.park_mutex;
-  Atomic.set t.parked false;
-  Mutex.unlock t.park_mutex
+  (* Exception-safe: [should_stop] reaches arbitrary caller code (a
+     fault-injecting stop probe, say) — a raise must still clear the
+     parked flag and release the mutex, or every later wake/park would
+     deadlock the shard. *)
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set t.parked false;
+      Mutex.unlock t.park_mutex)
+    (fun () ->
+      Atomic.set t.parked true;
+      (* Re-check after publishing [parked]: a producer that pushed before
+         it could observe the flag left work we must not sleep on.  A
+         spurious wakeup just returns to the drain loop. *)
+      if
+        Protocol.should_sleep ~should_stop:(should_stop ())
+          ~rings_empty:(rings_empty_from t 0)
+          ~pending_empty:
+            (match Atomic.get t.pending with [] -> true | _ :: _ -> false)
+      then Condition.wait t.park_cond t.park_mutex)
 
 (* Producer-side nudge after a push: a single atomic load unless the
    worker is actually parked. *)

@@ -56,8 +56,10 @@ val post : t -> (unit -> unit) -> unit
 val park : t -> should_stop:(unit -> bool) -> unit
 (** Block the consumer until woken.  Publishes the parked flag, then
     re-checks [should_stop], the rings and the command queue under the
-    park mutex before sleeping, so a concurrent push or {!post} cannot
-    be lost.  Consumer domain only. *)
+    park mutex ({!Protocol.should_sleep}) before sleeping, so a
+    concurrent push or {!post} cannot be lost.  Exception-safe: a raise
+    out of [should_stop] (or a spurious-wakeup path) still clears the
+    parked flag and releases the mutex.  Consumer domain only. *)
 
 val wake : t -> unit
 (** Producer-side nudge: a single atomic load unless the worker is

@@ -22,4 +22,5 @@ let () =
          Test_obs.suite;
          Test_failsafe.suite;
          Test_batch.suite;
-         Test_serve.suite ])
+         Test_serve.suite;
+         Test_analysis.suite ])

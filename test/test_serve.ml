@@ -40,6 +40,112 @@ let test_ring_fifo_wrap_full () =
   done;
   check_bool "drained ring is empty" true (Serve.Ring.is_empty r)
 
+(* [length]/[is_empty] snapshot tail strictly before head, so a
+   concurrent observer always reads a value within [0, capacity]: the
+   producer can only grow tail after the snapshot (undercounting is
+   fine), and a head read after the tail read can only have advanced
+   (which shrinks, never inflates, the difference).  The opposite order
+   admits values above capacity.  A third domain hammers [length] while
+   producer and consumer run flat out, then checks quiescent exactness. *)
+let test_ring_length_bounds_under_concurrency () =
+  let capacity = 8 in
+  let r = Serve.Ring.create ~capacity in
+  let pushes = 2_000 in
+  let stop = Atomic.make false in
+  let bad = Atomic.make 0 in
+  let observer =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          let n = Serve.Ring.length r in
+          if n < 0 || n > capacity then Atomic.incr bad;
+          if Serve.Ring.is_empty r && n > capacity then Atomic.incr bad
+        done)
+  in
+  let producer =
+    Domain.spawn (fun () ->
+        let sent = ref 0 in
+        while !sent < pushes do
+          if Serve.Ring.try_push r ~tenant:!sent ~page:0 ~stamp:0 then incr sent
+          else Domain.cpu_relax ()
+        done)
+  in
+  let tenants = Array.make capacity (-1)
+  and pages = Array.make capacity (-1)
+  and stamps = Array.make capacity (-1) in
+  let drained = ref 0 in
+  while !drained < pushes do
+    let n = Serve.Ring.drain_into r ~max:capacity tenants pages stamps in
+    if n = 0 then Domain.cpu_relax () else drained := !drained + n
+  done;
+  Domain.join producer;
+  Atomic.set stop true;
+  Domain.join observer;
+  check_int "no out-of-bounds length observed" 0 (Atomic.get bad);
+  check_int "quiescent length is exact" 0 (Serve.Ring.length r);
+  check_bool "quiescent ring is empty" true (Serve.Ring.is_empty r)
+
+(* ---------------- Shard park/post exception safety ---------------- *)
+
+let null_sink =
+  { Serve.Shard.run = (fun ~n:_ ~tenants:_ ~pages:_ ~now:_ -> ());
+    control = None;
+    digest = (fun () -> 0) }
+
+exception Probe_fault
+
+(* A raise out of [should_stop] must leave the shard parkable: the
+   parked flag cleared and the park mutex released ([Fun.protect]), so
+   the next post/wake/park cycle behaves normally. *)
+let test_park_exception_safety () =
+  let shard =
+    Serve.Shard.create ~index:90 ~producers:1 ~ring_capacity:8 ~max_batch:4 null_sink
+  in
+  (match Serve.Shard.park shard ~should_stop:(fun () -> raise Probe_fault) with
+   | () -> Alcotest.fail "faulting stop probe did not propagate"
+   | exception Probe_fault -> ());
+  (* The mutex is free and the flag cleared: a full post -> wake ->
+     park -> drain cycle completes without deadlock. *)
+  let ran = ref false in
+  Serve.Shard.post shard (fun () -> ran := true);
+  Serve.Shard.park shard ~should_stop:(fun () -> true);
+  check_int "posted command runs on the next sweep" 0
+    (Serve.Shard.drain_once shard ~now:0);
+  check_bool "post survived the faulting park" true !ran;
+  Serve.Shard.wake_force shard
+
+(* A posted command that raises propagates out of [drain_once]; the
+   shard must stay serviceable: later posts run, events drain, and the
+   park path still works. *)
+let test_faulting_posted_command () =
+  let shard =
+    Serve.Shard.create ~index:91 ~producers:1 ~ring_capacity:8 ~max_batch:4 null_sink
+  in
+  Serve.Shard.post shard (fun () -> raise Probe_fault);
+  (match Serve.Shard.drain_once shard ~now:0 with
+   | _ -> Alcotest.fail "faulting command did not propagate"
+   | exception Probe_fault -> ());
+  check_bool "event admitted after the fault" true
+    (Serve.Ring.try_push (Serve.Shard.ring shard 0) ~tenant:1 ~page:2 ~stamp:3);
+  let ran = ref false in
+  Serve.Shard.post shard (fun () -> ran := true);
+  check_int "drain serves the event" 1 (Serve.Shard.drain_once shard ~now:0);
+  check_bool "later posts still run" true !ran;
+  (* Work is queued on neither ring nor pending: park sleeps until a
+     wake, proving the flag/mutex state survived the fault. *)
+  let parked = ref false in
+  let consumer =
+    Domain.spawn (fun () ->
+        Serve.Shard.park shard ~should_stop:(fun () ->
+            parked := true;
+            false);
+        ())
+  in
+  while not !parked do
+    Domain.cpu_relax ()
+  done;
+  Serve.Shard.wake_force shard;
+  Domain.join consumer
+
 (* ---------------- Shared fixtures ---------------- *)
 
 let tenant_on fleet shard =
@@ -273,6 +379,12 @@ let test_zero_alloc_steady_state () =
 let suite =
   [ ( "serve",
       [ Alcotest.test_case "ring fifo, wrap, full" `Quick test_ring_fifo_wrap_full;
+        Alcotest.test_case "ring length bounded under concurrency" `Quick
+          test_ring_length_bounds_under_concurrency;
+        Alcotest.test_case "park survives a faulting stop probe" `Quick
+          test_park_exception_safety;
+        Alcotest.test_case "shard survives a faulting posted command" `Quick
+          test_faulting_posted_command;
         Alcotest.test_case "digest stable across widths and modes" `Quick
           test_digest_across_widths;
         Alcotest.test_case "breaker trip is shard-local" `Quick
