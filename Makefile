@@ -1,4 +1,4 @@
-.PHONY: all build test bench table1 table2 ablations micro bench-json perf-check \
+.PHONY: all build test bench table1 table2 net ablations micro bench-json perf-check \
         bench-macro perf-check-macro bench-throughput check lint analyze chaos \
         examples clean
 
@@ -21,6 +21,12 @@ table2:
 
 ablations:
 	dune exec bench/main.exe ablations
+
+# Table 3 (DESIGN.md section 16): learned congestion control on the
+# net.cc decision point; replays the experiment at a second pool width
+# and exits non-zero on digest divergence or a failed shape check.
+net:
+	dune exec bin/rkdctl.exe -- net
 
 micro:
 	dune exec bench/main.exe micro
@@ -73,14 +79,22 @@ analyze:
 # the two widths.  Then the serving fleet (DESIGN.md section 14) at 2
 # and 4 shards under a 1% everything-fault plan: --soak replays the
 # trace twice and exits non-zero unless decision digests are
-# bit-identical and every tripped breaker re-closed.
+# bit-identical and every tripped breaker re-closed.  Finally the net
+# experiment (DESIGN.md section 16) under the same 1% plan: the learned
+# controller must degrade to its stock-Cubic fallback with digests
+# bit-identical across pool widths.
 chaos:
-	@d1=$$(dune exec bin/rkdctl.exe -- chaos -n 1000 -d 1 | tee /dev/stderr | grep -o 'digest [0-9a-f]*'); \
-	d4=$$(dune exec bin/rkdctl.exe -- chaos -n 1000 -d 4 | tee /dev/stderr | grep -o 'digest [0-9a-f]*'); \
+	@out1=$$(dune exec bin/rkdctl.exe -- chaos -n 1000 -d 1) || { echo "$$out1"; exit 1; }; \
+	echo "$$out1"; \
+	out4=$$(dune exec bin/rkdctl.exe -- chaos -n 1000 -d 4) || { echo "$$out4"; exit 1; }; \
+	echo "$$out4"; \
+	d1=$$(echo "$$out1" | grep -o 'digest [0-9a-f]*'); \
+	d4=$$(echo "$$out4" | grep -o 'digest [0-9a-f]*'); \
 	test -n "$$d1" && test "$$d1" = "$$d4" \
 	  || { echo "chaos: digest mismatch across pool widths ($$d1 vs $$d4)"; exit 1; }
 	RKD_FAULTS=all:0.01 dune exec bin/rkdctl.exe -- serve --soak --shards 2
 	RKD_FAULTS=all:0.01 dune exec bin/rkdctl.exe -- serve --soak --shards 4
+	RKD_FAULTS=all:0.01 dune exec bin/rkdctl.exe -- net
 
 # The umbrella CI gate: warning-clean build, absint fuzz smoke, static
 # analysis (lint corpus + protocol model checking), full test suite,

@@ -487,7 +487,8 @@ let quiet_ablations () =
 let macro_targets =
   [ ("table1", fun () -> ignore (Rkd.Experiment.table1 ()));
     ("table2", fun () -> ignore (Rkd.Experiment.table2 ()));
-    ("ablations", quiet_ablations) ]
+    ("ablations", quiet_ablations);
+    ("net", fun () -> ignore (Rkd.Experiment.table3 ~faults:[] ())) ]
 
 type macro_row = { m_name : string; wall_ms : float; wall_ms_seq : float; speedup : float }
 

@@ -467,6 +467,94 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ scenarios_arg $ events_arg $ seed_arg $ domains_arg $ snapshot_arg)
 
+let net_cmd =
+  let run json_path domains seed learned baseline =
+    (match domains with Some n -> Par.set_global_domains n | None -> ());
+    let systems =
+      match (learned, baseline) with
+      | true, false -> [ "rmt-ml" ]
+      | false, true -> [ "cubic"; "bbr" ]
+      | _ -> Rkd.Experiment.net_systems
+    in
+    let t0 = Unix.gettimeofday () in
+    let rows = Rkd.Experiment.table3 ~seed ~systems () in
+    let digest = Rkd.Experiment.table3_digest rows in
+    Rkd.Report.print_table3 Format.std_formatter rows;
+    let checks = Rkd.Report.net_checks rows in
+    List.iter
+      (fun (name, ok) -> Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") name)
+      checks;
+    (* Determinism witness: replay the whole experiment at a different
+       pool width; the digests must be bit-identical (including any
+       RKD_FAULTS plan, which table3 re-arms per task). *)
+    let width = Par.global_domains () in
+    let alt_width = if width = 1 then 4 else 1 in
+    Par.set_global_domains alt_width;
+    let alt_digest = Rkd.Experiment.table3_digest (Rkd.Experiment.table3 ~seed ~systems ()) in
+    Par.set_global_domains width;
+    let deterministic = digest = alt_digest in
+    Format.printf "net digest %016x (domains=%d) / %016x (domains=%d): %s@." digest width
+      alt_digest alt_width
+      (if deterministic then "identical" else "DIVERGED");
+    Format.printf "[net] elapsed %.2f s (domains=%d)@." (Unix.gettimeofday () -. t0) width;
+    (match json_path with
+     | None -> ()
+     | Some path ->
+       let row_lines =
+         List.map
+           (fun (r : Rkd.Experiment.table3_row) ->
+             Printf.sprintf
+               "{\"schema\":\"rkd-net/1\",\"seed\":%d,\"mix\":\"%s\",\"system\":\"%s\",\
+                \"goodput_mbps\":%.3f,\"mean_fct_ms\":%.3f,\"p99_fct_ms\":%.3f,\
+                \"fairness\":%.4f,\"retransmits\":%d,\"incomplete\":%d,\"fallbacks\":%d,\
+                \"digest\":\"%016x\"}"
+               seed r.Rkd.Experiment.net_mix r.Rkd.Experiment.cc_system
+               r.Rkd.Experiment.goodput_mbps r.Rkd.Experiment.net_mean_fct_ms
+               r.Rkd.Experiment.net_p99_fct_ms r.Rkd.Experiment.net_fairness
+               r.Rkd.Experiment.net_retransmits r.Rkd.Experiment.net_incomplete
+               r.Rkd.Experiment.net_fallbacks r.Rkd.Experiment.net_digest)
+           rows
+       in
+       let summary =
+         Printf.sprintf
+           "{\"schema\":\"rkd-net-summary/1\",\"seed\":%d,\"rows\":%d,\
+            \"digest\":\"%016x\",\"alt_width_digest\":\"%016x\",\"deterministic\":%b,\
+            \"checks_failed\":%d}"
+           seed (List.length rows) digest alt_digest deterministic
+           (List.length (List.filter (fun (_, ok) -> not ok) checks))
+       in
+       write_json_lines path (row_lines @ [ summary ]);
+       Format.printf "wrote net experiment rows to %s@." path);
+    let checks_ok = List.for_all snd checks in
+    (* Under an RKD_FAULTS chaos plan the learned path degrades to the
+       stock fallback by design, so only determinism gates the exit. *)
+    let faulted = Sys.getenv_opt "RKD_FAULTS" <> None in
+    if deterministic && (checks_ok || faulted) then 0 else 1
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write rkd-net/1 JSON rows to FILE.")
+  in
+  let domains_arg =
+    Arg.(value & opt (some int) None & info [ "d"; "domains" ] ~docv:"N"
+           ~doc:"Domain-pool width (defaults to \\$(b,RKD_DOMAINS) or the core count).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Master seed.")
+  in
+  let learned_arg =
+    Arg.(value & flag & info [ "learned" ] ~doc:"Run only the learned (rmt-ml) controller.")
+  in
+  let baseline_arg =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Run only the stock Cubic/BBR baselines.")
+  in
+  let doc =
+    "Table 3: learned congestion control on the net.cc decision point; replays the \
+     experiment at a second pool width and fails on digest divergence"
+  in
+  Cmd.v (Cmd.info "net" ~doc)
+    Term.(const run $ json_arg $ domains_arg $ seed_arg $ learned_arg $ baseline_arg)
+
 let serve_cmd =
   let run tenants events shards producers pinned soak seed =
     let config =
@@ -863,7 +951,8 @@ let main =
     (Cmd.info "rkdctl" ~version:"1.0.0" ~doc)
     [ verify_cmd; resources_cmd; analyze_cmd; mc_cmd; disasm_cmd; run_cmd; assemble_cmd;
       absint_fuzz_cmd;
-      decode_fuzz_cmd; chaos_cmd; serve_cmd; stats_cmd; trace_cmd; table1_cmd; table2_cmd;
+      decode_fuzz_cmd; chaos_cmd; net_cmd; serve_cmd; stats_cmd; trace_cmd; table1_cmd;
+      table2_cmd;
       ablations_cmd; overhead_cmd; shapes_cmd ]
 
 let () = exit (Cmd.eval' main)

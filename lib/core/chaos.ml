@@ -61,13 +61,16 @@ let run_prefetch rng ~events =
     drive e
   done;
   let breaker = Prefetch_rmt.breaker pf in
-  (* Fault-free recovery: the clock advances a full backoff period per
-     event, so an open breaker gets its half-open probes and re-closes. *)
+  (* Fault-free recovery: the clock advances 64 ms per event, so the
+     256-event budget (~16 s) outlasts the worst case — a sustained
+     model-output storm leaves the guardrail window degraded, and
+     draining it needs a dozen-plus clean probes whose backoffs are
+     capped at 1 s each (DESIGN.md section 12). *)
   let recover e =
     page := !page + 3;
     match
       p.Ksim.Prefetcher.on_access ~pid:1 ~page:!page ~hit:false
-        ~now:((events * 1000) + (e * 2_000_000))
+        ~now:((events * 1000) + (e * 64_000_000))
     with
     | pages -> List.iter (fun pg -> digest := mix !digest pg) pages
     | exception _ -> incr uncaught
@@ -105,7 +108,7 @@ let run_sched rng ~events =
   done;
   let breaker = Sched_rmt.breaker sr in
   let recover e =
-    now := (events * 1000) + (e * 2_000_000);
+    now := (events * 1000) + (e * 64_000_000);
     let features = Array.init n (fun _ -> Kml.Rng.int rng 1024) in
     match decide ~features ~heuristic:false with
     | b -> digest := mix !digest (if b then 1 else 0)
@@ -171,7 +174,7 @@ let run_churn rng ~events =
     drive e
   done;
   let recover e =
-    now := (events * 1000) + (e * 2_000_000);
+    now := (events * 1000) + (e * 64_000_000);
     let page = e land 4095 in
     Rmt.Ctxt.set ctxt Hooks.key_page page;
     Rmt.Ctxt.set ctxt Hooks.key_heuristic (page land 1);
@@ -185,9 +188,70 @@ let run_churn rng ~events =
   in
   (breaker, digest, uncaught, recover, fallbacks)
 
+(* --- flavor 3: learned congestion control under fault load ---------- *)
+
+let chaos_net_params =
+  { Net_rmt.default_params with
+    window_capacity = 256;
+    retrain_period = 64;
+    min_retrain_samples = 64 }
+
+let run_net rng ~events =
+  let net =
+    Net_rmt.create ~params:chaos_net_params ~seed:(Kml.Rng.int rng 1_000_000) ()
+  in
+  let digest = ref 0 and uncaught = ref 0 in
+  let min_rtt = 1_000_000 in
+  let srtt = ref min_rtt and delivered = ref 0 and cwnd = ref 4 in
+  let signal ~now ~rtt ~ecn ~loss =
+    incr delivered;
+    srtt := ((7 * !srtt) + rtt) / 8;
+    { Ksim.Cc.now;
+      rtt_ns = rtt;
+      min_rtt_ns = min_rtt;
+      srtt_ns = !srtt;
+      ecn;
+      loss;
+      inflight = max 0 (!cwnd - 1);
+      cwnd = !cwnd;
+      delivered = !delivered;
+      delivery_rate = 100 * !cwnd }
+  in
+  let drive e =
+    (* 1 ms per ACK: several label windows and one online retrain elapse
+       within the default 200-event soak. *)
+    let rtt = min_rtt + Kml.Rng.int rng 1_500_000 in
+    let ecn = Kml.Rng.int rng 10 = 0 in
+    let loss = Kml.Rng.int rng 20 = 0 in
+    match Net_rmt.decide net ~flow:1 (signal ~now:(e * 1_000_000) ~rtt ~ecn ~loss) with
+    | d ->
+        cwnd := d.Ksim.Cc.cwnd;
+        digest := mix (mix !digest d.Ksim.Cc.cwnd) d.Ksim.Cc.pacing_ns
+    | exception _ -> incr uncaught
+  in
+  for e = 1 to events do
+    drive e
+  done;
+  let breaker = Net_rmt.breaker net in
+  let recover e =
+    (* 64 ms per event, same worst-case budget as the other flavors. *)
+    let now = (events * 1_000_000) + (e * 64_000_000) in
+    match Net_rmt.decide net ~flow:1 (signal ~now ~rtt:min_rtt ~ecn:false ~loss:false) with
+    | d ->
+        cwnd := d.Ksim.Cc.cwnd;
+        digest := mix !digest d.Ksim.Cc.cwnd
+    | exception _ -> incr uncaught
+  in
+  let fallbacks () = (Net_rmt.stats net).Net_rmt.fallback_decisions in
+  (breaker, digest, uncaught, recover, fallbacks)
+
 (* --- scenario driver ------------------------------------------------ *)
 
-let flavors = [| ("prefetch", run_prefetch); ("sched", run_sched); ("churn", run_churn) |]
+let flavors =
+  [| ("prefetch", run_prefetch);
+     ("sched", run_sched);
+     ("churn", run_churn);
+     ("net", run_net) |]
 
 let run_scenario ~master ~events index =
   let rng = Kml.Rng.split master index in

@@ -656,3 +656,97 @@ let ablation_online_training ?(seed = 42) () =
     Ksim.Sched_sim.run ~workload:"streamcluster" ~decider_name:"online" decider
   in
   List.rev !rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 — learned congestion control                                 *)
+(* ------------------------------------------------------------------ *)
+
+type table3_row = {
+  net_mix : string;
+  cc_system : string;
+  goodput_mbps : float;
+  net_mean_fct_ms : float;
+  net_p99_fct_ms : float;
+  net_fairness : float;
+  net_retransmits : int;
+  net_incomplete : int;
+  net_fallbacks : int;
+  net_digest : int;
+}
+
+let net_systems = [ "cubic"; "bbr"; "rmt-ml" ]
+
+let env_faults () =
+  match Sys.getenv_opt "RKD_FAULTS" with
+  | None -> []
+  | Some spec -> (
+      match Rmt.Fault.parse_spec spec with Ok plan -> plan | Error _ -> [])
+
+let idx_in names x =
+  let rec go i = function
+    | [] -> 0
+    | y :: tl -> if String.equal x y then i else go (i + 1) tl
+  in
+  go 0 names
+
+let table3_task ~seed ~plan (mix_name, system) =
+  let mix_idx = idx_in Ksim.Workload_net.names mix_name in
+  let sys_idx = idx_in net_systems system in
+  let body () =
+    let scenario =
+      Ksim.Workload_net.by_name ~rng:(Kml.Rng.create (seed lxor 0x3a7)) mix_name
+    in
+    let net = ref None in
+    let make_cc =
+      match system with
+      | "cubic" -> fun (_ : Ksim.Flow.spec) -> Ksim.Cc.cubic ()
+      | "bbr" -> fun (_ : Ksim.Flow.spec) -> Ksim.Cc.bbr ()
+      | "rmt-ml" ->
+          let n = Net_rmt.create ~seed:(seed lxor (0x9e37 + mix_idx)) () in
+          net := Some n;
+          Net_rmt.make_cc n
+      | other -> invalid_arg ("table3: unknown cc system " ^ other)
+    in
+    let r =
+      Ksim.Net_sim.run ~config:scenario.Ksim.Workload_net.config ~make_cc
+        scenario.Ksim.Workload_net.flows
+    in
+    let fallbacks =
+      match !net with
+      | None -> 0
+      | Some n -> (Net_rmt.stats n).Net_rmt.fallback_decisions
+    in
+    { net_mix = mix_name;
+      cc_system = system;
+      goodput_mbps = r.Ksim.Net_sim.goodput_mbps;
+      net_mean_fct_ms = r.Ksim.Net_sim.mean_fct_ms;
+      net_p99_fct_ms = r.Ksim.Net_sim.p99_fct_ms;
+      net_fairness = r.Ksim.Net_sim.fairness;
+      net_retransmits = r.Ksim.Net_sim.retransmits;
+      net_incomplete = r.Ksim.Net_sim.incomplete;
+      net_fallbacks = fallbacks;
+      net_digest = r.Ksim.Net_sim.digest }
+  in
+  (* Each task owns a domain-local fault plan seeded by its combo identity,
+     so injected faults are bit-identical at every pool width (the global
+     RKD_FAULTS plan draws from one process-wide rng and is not). *)
+  match plan with
+  | [] -> Rmt.Fault.without body
+  | specs ->
+      Rmt.Fault.with_plan
+        ~seed:(((seed * 31) + (mix_idx * 7) + sys_idx) land 0x3fffffff)
+        specs body
+
+let table3 ?(seed = 42) ?faults ?(mixes = Ksim.Workload_net.names)
+    ?(systems = net_systems) () =
+  let plan = match faults with Some p -> p | None -> env_faults () in
+  let combos =
+    List.concat_map (fun m -> List.map (fun s -> (m, s)) systems) mixes
+  in
+  pmap (table3_task ~seed ~plan) combos
+
+let table3_digest rows =
+  List.fold_left
+    (fun acc r ->
+      Ksim.Net_sim.mix (Ksim.Net_sim.mix acc r.net_digest) r.net_fallbacks)
+    0 rows

@@ -184,3 +184,39 @@ val ablation_online_training : ?seed:int -> unit -> online_row list
     hot-swapped into the RMT model store; the decider then runs through the
     [can_migrate_task] RMT program.  Rows give the per-window agreement
     with the heuristic — the learning curve. *)
+
+type table3_row = {
+  net_mix : string;        (** "stream" | "mixed" | "incast" *)
+  cc_system : string;      (** "cubic" | "bbr" | "rmt-ml" *)
+  goodput_mbps : float;
+  net_mean_fct_ms : float;
+  net_p99_fct_ms : float;  (** exact 99th-percentile flow completion time *)
+  net_fairness : float;    (** Jain index over per-flow delivery rates *)
+  net_retransmits : int;
+  net_incomplete : int;    (** flows censored at the horizon *)
+  net_fallbacks : int;     (** breaker fallbacks served on the net.cc hook *)
+  net_digest : int;        (** per-run decision digest (determinism checks) *)
+}
+
+val net_systems : string list
+(** [["cubic"; "bbr"; "rmt-ml"]]. *)
+
+val table3 :
+  ?seed:int ->
+  ?faults:(Rmt.Fault.point * float) list ->
+  ?mixes:string list ->
+  ?systems:string list ->
+  unit ->
+  table3_row list
+(** Table 3 — learned congestion control on the [net.cc] decision point
+    (DESIGN.md section 16).  Each (mix, system) combo is one pool task
+    running the full packet-level simulation; combos share nothing, so
+    rows are bit-identical at every pool width.  [faults] defaults to the
+    parsed [RKD_FAULTS] environment plan; pass [~faults:[]] for a clean
+    run even under a chaos environment.  A non-empty plan is re-armed
+    per task with {!Rmt.Fault.with_plan} keyed on the combo identity, so
+    fault injection is width-deterministic too. *)
+
+val table3_digest : table3_row list -> int
+(** Fold of per-row digests and fallback counts — the cross-width
+    equality witness used by [rkdctl net] and the tests. *)

@@ -11,6 +11,11 @@ val swap_cluster_readahead : string
 val can_migrate_task : string
 (** Scheduler, migration decision (case study 2). *)
 
+val net_cc : string
+(** Network stack, per-flow congestion-control decision (case study 3,
+    DESIGN.md section 16): the installed program picks a cwnd/pacing
+    action class from the flow's ACK-time feature block. *)
+
 val all : string list
 
 (** {2 Execution-context key layout}
@@ -26,6 +31,9 @@ val key_heuristic : int
 (** The stock kernel heuristic's decision for the current event, written
     by the host before firing a protected hook so a circuit-breaker
     fallback can serve it verbatim (DESIGN.md section 12). *)
+
+val key_flow : int
+(** Flow identity for [net_cc] firings. *)
 
 val key_feature_base : int
 (** Feature block: recent deltas (most recent first) followed by derived

@@ -228,3 +228,50 @@ let print_online fmt rows =
       Format.fprintf fmt "  %-8d %12d %14.2f %8d@." r.window_idx r.decisions_so_far
         r.window_agreement_pct r.pushes_so_far)
     rows
+
+let print_table3 fmt rows =
+  Format.fprintf fmt "Table 3 — learned congestion control (net.cc decision point)@.";
+  hr fmt;
+  Format.fprintf fmt "  %-8s %-8s %10s %10s %10s %6s %8s %9s@." "mix" "system"
+    "goodput" "mean fct" "p99 fct" "jain" "rtx" "fallback";
+  Format.fprintf fmt "  %-8s %-8s %10s %10s %10s %6s %8s %9s@." "" "" "Mbit/s" "ms"
+    "ms" "" "" "";
+  hr fmt;
+  List.iter
+    (fun (r : Experiment.table3_row) ->
+      Format.fprintf fmt "  %-8s %-8s %10.2f %10.1f %10.1f %6.3f %8d %9d@."
+        r.net_mix r.cc_system r.goodput_mbps r.net_mean_fct_ms r.net_p99_fct_ms
+        r.net_fairness r.net_retransmits r.net_fallbacks)
+    rows;
+  hr fmt
+
+let net_checks rows =
+  let find mix system =
+    List.find_opt
+      (fun (r : Experiment.table3_row) ->
+        r.Experiment.net_mix = mix && r.Experiment.cc_system = system)
+      rows
+  in
+  let mixes =
+    List.filter
+      (fun m ->
+        List.for_all (fun s -> find m s <> None) Experiment.net_systems)
+      (List.sort_uniq compare
+         (List.map (fun (r : Experiment.table3_row) -> r.Experiment.net_mix) rows))
+  in
+  List.concat_map
+    (fun m ->
+      let get s f = match find m s with Some r -> f r | None -> nan in
+      let goodput s = get s (fun r -> r.Experiment.goodput_mbps) in
+      let p99 s = get s (fun r -> r.Experiment.net_p99_fct_ms) in
+      let worse_goodput = Float.min (goodput "cubic") (goodput "bbr") in
+      let worse_p99 = Float.max (p99 "cubic") (p99 "bbr") in
+      let complete =
+        match find m "rmt-ml" with
+        | Some r -> r.Experiment.net_incomplete = 0
+        | None -> false
+      in
+      [ ( Printf.sprintf "T3 %s: learned beats worse baseline (goodput or p99 FCT)" m,
+          goodput "rmt-ml" > worse_goodput || p99 "rmt-ml" < worse_p99 );
+        (Printf.sprintf "T3 %s: learned completes every flow" m, complete) ])
+    mixes

@@ -28,3 +28,12 @@ val print_nas : Format.formatter -> Experiment.nas_row list -> unit
 val print_granularity : Format.formatter -> Experiment.granularity_row list -> unit
 val print_cross : Format.formatter -> Experiment.cross_row list -> unit
 val print_online : Format.formatter -> Experiment.online_row list -> unit
+
+val print_table3 : Format.formatter -> Experiment.table3_row list -> unit
+(** Table 3 (DESIGN.md section 16): goodput / FCT / fairness per workload
+    mix and congestion-control system, plus breaker-fallback counts. *)
+
+val net_checks : Experiment.table3_row list -> (string * bool) list
+(** Qualitative claims for the network decision point: on every mix where
+    all three systems ran, the learned controller must beat the worse of
+    the two stock baselines on goodput or p99 FCT, and finish every flow. *)

@@ -1,0 +1,92 @@
+type spec = {
+  id : int;
+  start_ns : int;
+  size_pkts : int;
+  base_rtt_ns : int;
+}
+
+type state = {
+  spec : spec;
+  mutable next_seq : int;
+  mutable rtx : int list; (* oldest first *)
+  mutable inflight : int;
+  mutable delivered : int;
+  mutable acked : int;
+  mutable losses : int;
+  mutable ecn_acks : int;
+  mutable cwnd : int;
+  mutable pacing_ns : int;
+  mutable next_send_ns : int;
+  mutable pace_armed : bool;
+  mutable min_rtt_ns : int;
+  mutable srtt_ns : int;
+  mutable first_send_ns : int;
+  mutable done_ns : int;
+  mutable rate_t0 : int;
+  mutable rate_delivered0 : int;
+  mutable delivery_rate : int;
+}
+
+let create spec =
+  if spec.size_pkts < 1 then invalid_arg "Flow.create: size must be >= 1 packet";
+  if spec.base_rtt_ns < 4 then invalid_arg "Flow.create: base RTT too small";
+  { spec;
+    next_seq = 0;
+    rtx = [];
+    inflight = 0;
+    delivered = 0;
+    acked = 0;
+    losses = 0;
+    ecn_acks = 0;
+    cwnd = 4;
+    pacing_ns = 0;
+    next_send_ns = 0;
+    pace_armed = false;
+    min_rtt_ns = max_int;
+    srtt_ns = 0;
+    first_send_ns = -1;
+    done_ns = -1;
+    rate_t0 = -1;
+    rate_delivered0 = 0;
+    delivery_rate = 0 }
+
+let completed t = t.done_ns >= 0
+let has_data t = t.rtx <> [] || t.next_seq < t.spec.size_pkts
+
+(* Next sequence number to put on the wire: retransmissions first. *)
+let take_seq t =
+  match t.rtx with
+  | seq :: rest ->
+    t.rtx <- rest;
+    seq
+  | [] ->
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    seq
+
+let queue_rtx t seq = t.rtx <- t.rtx @ [ seq ]
+
+let observe_rtt t ~rtt_ns =
+  if rtt_ns < t.min_rtt_ns then t.min_rtt_ns <- rtt_ns;
+  t.srtt_ns <- (if t.srtt_ns = 0 then rtt_ns else ((7 * t.srtt_ns) + rtt_ns) / 8)
+
+(* Windowed delivery-rate estimate (packets/second): resampled once per
+   smoothed RTT so BBR-style senders see recent bandwidth, not the
+   lifetime average. *)
+let observe_delivery t ~now =
+  if t.rate_t0 < 0 then begin
+    t.rate_t0 <- now;
+    t.rate_delivered0 <- t.delivered
+  end
+  else begin
+    let interval = now - t.rate_t0 in
+    if interval >= max 1 t.srtt_ns && t.delivered > t.rate_delivered0 then begin
+      t.delivery_rate <- (t.delivered - t.rate_delivered0) * 1_000_000_000 / interval;
+      t.rate_t0 <- now;
+      t.rate_delivered0 <- t.delivered
+    end
+  end
+
+let fct_ns t ~horizon_ns =
+  let finish = if completed t then t.done_ns else horizon_ns in
+  max 0 (finish - t.spec.start_ns)

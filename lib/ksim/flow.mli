@@ -1,0 +1,47 @@
+(** Per-flow sender state for the network simulator: a fixed-size transfer
+    with a congestion window, optional pacing, a retransmission queue and
+    RTT/delivery-rate estimators.  The simulator owns all transitions; this
+    module is the data model plus the small pure helpers. *)
+
+type spec = {
+  id : int;
+  start_ns : int;
+  size_pkts : int;     (** packets to deliver (MTU-sized) *)
+  base_rtt_ns : int;   (** two-way propagation excluding queueing/serialization *)
+}
+
+type state = {
+  spec : spec;
+  mutable next_seq : int;
+  mutable rtx : int list;        (** sequence numbers awaiting retransmission *)
+  mutable inflight : int;
+  mutable delivered : int;       (** unique packets acknowledged *)
+  mutable acked : int;
+  mutable losses : int;
+  mutable ecn_acks : int;
+  mutable cwnd : int;            (** packets; congestion-control output *)
+  mutable pacing_ns : int;       (** inter-send gap; 0 = ack-clocked bursts *)
+  mutable next_send_ns : int;
+  mutable pace_armed : bool;
+  mutable min_rtt_ns : int;      (** [max_int] until the first sample *)
+  mutable srtt_ns : int;         (** 0 until the first sample; EWMA 7/8 *)
+  mutable first_send_ns : int;   (** -1 until the first packet leaves *)
+  mutable done_ns : int;         (** -1 until all packets delivered *)
+  mutable rate_t0 : int;
+  mutable rate_delivered0 : int;
+  mutable delivery_rate : int;   (** packets/second over the last sample window *)
+}
+
+val create : spec -> state
+(** Initial window 4 packets, ack-clocked (no pacing). *)
+
+val completed : state -> bool
+val has_data : state -> bool
+val take_seq : state -> int
+(** Next sequence number to transmit; retransmissions drain first. *)
+
+val queue_rtx : state -> int -> unit
+val observe_rtt : state -> rtt_ns:int -> unit
+val observe_delivery : state -> now:int -> unit
+val fct_ns : state -> horizon_ns:int -> int
+(** Flow-completion time; incomplete flows are censored at the horizon. *)

@@ -1,0 +1,44 @@
+(** Bottleneck link model for the network simulator (DESIGN.md section 16):
+    a fixed-rate server draining a FIFO drop-tail queue, with an optional
+    ECN marking threshold.  All arithmetic is integer nanoseconds so runs
+    are bit-identical across machines and pool widths. *)
+
+type config = {
+  rate_bytes_per_sec : int;  (** bottleneck bandwidth *)
+  mtu_bytes : int;           (** fixed packet size *)
+  queue_capacity : int;      (** drop-tail limit, in packets *)
+  ecn_threshold : int;       (** CE-mark admissions at/above this depth; <= 0 disables *)
+  prop_delay_ns : int;       (** one-way propagation, informational *)
+}
+
+val default_config : config
+(** 100 Mbit/s, 1500-byte packets, 128-packet queue, ECN off. *)
+
+type packet = {
+  flow : int;
+  seq : int;
+  sent_ns : int;      (** send timestamp, echoed on the ACK for RTT samples *)
+  ecn_marked : bool;
+}
+
+type t
+
+val create : config -> t
+val tx_ns : t -> int
+(** Serialization time of one packet at the configured rate (>= 1 ns). *)
+
+val config : t -> config
+val depth : t -> int
+val busy : t -> bool
+val set_busy : t -> bool -> unit
+(** The simulator drives the service loop: [busy] marks an in-flight
+    serialization so at most one dequeue timer is armed per link. *)
+
+val enqueue : t -> packet -> [ `Enqueued | `Dropped ]
+(** Admits (possibly CE-marking) or drops the packet. *)
+
+val dequeue : t -> packet option
+
+type stats = { s_enqueued : int; s_dropped : int; s_marked : int; s_busy_ns : int }
+
+val stats : t -> stats

@@ -1,0 +1,22 @@
+(** Network workload mixes for the Table 3 experiment (DESIGN.md §16).
+    All randomness comes from the caller's [rng], so a scenario is a pure
+    function of the seed — the parallel-harness determinism contract. *)
+
+type scenario = {
+  name : string;
+  config : Net_sim.config;
+  flows : Flow.spec array;
+}
+
+val stream : ?flows:int -> ?size_pkts:int -> unit -> scenario
+(** Long-lived equal flows over a deep queue (throughput + fairness). *)
+
+val mixed : rng:Kml.Rng.t -> ?elephants:int -> ?mice:int -> unit -> scenario
+(** Elephants bloating a deep buffer under a stream of short mice (the
+    bufferbloat / p99-FCT mix). *)
+
+val incast : rng:Kml.Rng.t -> ?flows:int -> ?size_pkts:int -> unit -> scenario
+(** Synchronized shorts into a shallow ECN-marking queue. *)
+
+val names : string list
+val by_name : rng:Kml.Rng.t -> string -> scenario

@@ -20,6 +20,7 @@ let () =
          Test_more.suite;
          Test_par.suite;
          Test_obs.suite;
+         Test_net.suite;
          Test_failsafe.suite;
          Test_batch.suite;
          Test_serve.suite;
