@@ -1,4 +1,4 @@
-.PHONY: all build test bench table1 table2 net ablations micro bench-json perf-check \
+.PHONY: all build test bench table1 table2 net fleet ablations micro bench-json perf-check \
         bench-macro perf-check-macro bench-throughput check lint analyze chaos \
         examples clean
 
@@ -27,6 +27,13 @@ ablations:
 # and exits non-zero on digest divergence or a failed shape check.
 net:
 	dune exec bin/rkdctl.exe -- net
+
+# Fleet control plane (DESIGN.md section 17): drift detection, staged
+# canary rollout with automatic rollback; --soak replays the identical
+# soak at pool widths 1/4/8 and exits non-zero on digest divergence, a
+# breaker left open, or install thrash.
+fleet:
+	dune exec bin/rkdctl.exe -- fleet --soak
 
 micro:
 	dune exec bench/main.exe micro
@@ -79,10 +86,14 @@ analyze:
 # the two widths.  Then the serving fleet (DESIGN.md section 14) at 2
 # and 4 shards under a 1% everything-fault plan: --soak replays the
 # trace twice and exits non-zero unless decision digests are
-# bit-identical and every tripped breaker re-closed.  Finally the net
+# bit-identical and every tripped breaker re-closed.  Then the net
 # experiment (DESIGN.md section 16) under the same 1% plan: the learned
 # controller must degrade to its stock-Cubic fallback with digests
-# bit-identical across pool widths.
+# bit-identical across pool widths.  Finally the fleet control plane
+# (DESIGN.md section 17) under the same plan, staggered and as a
+# simultaneous drift storm: staged rollouts with automatic rollback must
+# stay bit-identical across widths, re-close every breaker and keep the
+# per-episode install bound.
 chaos:
 	@out1=$$(dune exec bin/rkdctl.exe -- chaos -n 1000 -d 1) || { echo "$$out1"; exit 1; }; \
 	echo "$$out1"; \
@@ -95,6 +106,8 @@ chaos:
 	RKD_FAULTS=all:0.01 dune exec bin/rkdctl.exe -- serve --soak --shards 2
 	RKD_FAULTS=all:0.01 dune exec bin/rkdctl.exe -- serve --soak --shards 4
 	RKD_FAULTS=all:0.01 dune exec bin/rkdctl.exe -- net
+	RKD_FAULTS=all:0.01 dune exec bin/rkdctl.exe -- fleet --soak
+	RKD_FAULTS=all:0.01 dune exec bin/rkdctl.exe -- fleet --soak --storm
 
 # The umbrella CI gate: warning-clean build, absint fuzz smoke, static
 # analysis (lint corpus + protocol model checking), full test suite,

@@ -705,6 +705,90 @@ let serve_cmd =
       const run $ tenants_arg $ events_arg $ shards_arg $ producers_arg $ pinned_arg
       $ soak_arg $ seed_arg)
 
+let fleet_cmd =
+  let run json_path soak domains seed ticks storm =
+    (match domains with Some n -> Par.set_global_domains n | None -> ());
+    let faulted = Sys.getenv_opt "RKD_FAULTS" <> None in
+    let t0 = Unix.gettimeofday () in
+    let run_at width =
+      Par.set_global_domains width;
+      Rkd.Experiment.fleet_soak ~seed ~storm ~ticks ()
+    in
+    let width = Par.global_domains () in
+    let r = run_at width in
+    Rkd.Report.print_fleet Format.std_formatter r;
+    let checks = Rkd.Report.fleet_checks ~faulted r in
+    List.iter
+      (fun (name, ok) -> Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") name)
+      checks;
+    (* Determinism witness: replay the identical soak at other pool
+       widths; the fleet digest must be bit-identical (including any
+       RKD_FAULTS plan, which the fleet re-arms per shard task). *)
+    let alt_widths =
+      if soak then List.filter (fun w -> w <> width) [ 1; 4; 8 ]
+      else [ (if width = 1 then 4 else 1) ]
+    in
+    let deterministic = ref true in
+    List.iter
+      (fun w ->
+        let rw = run_at w in
+        let same = rw.Rkd.Fleet.digest = r.Rkd.Fleet.digest in
+        if not same then deterministic := false;
+        Format.printf "fleet digest %016x (domains=%d) vs %016x (domains=%d): %s@."
+          r.Rkd.Fleet.digest width rw.Rkd.Fleet.digest w
+          (if same then "identical" else "DIVERGED"))
+      alt_widths;
+    Par.set_global_domains width;
+    Format.printf "[fleet] elapsed %.2f s (domains=%d)@." (Unix.gettimeofday () -. t0) width;
+    let checks_failed = List.length (List.filter (fun (_, ok) -> not ok) checks) in
+    (match json_path with
+     | None -> ()
+     | Some path ->
+       let summary =
+         Printf.sprintf
+           "{\"schema\":\"rkd-fleet-summary/1\",\"seed\":%d,\"storm\":%b,\"faulted\":%b,\
+            \"digest\":\"%016x\",\"deterministic\":%b,\"checks_failed\":%d}"
+           seed storm faulted r.Rkd.Fleet.digest !deterministic checks_failed
+       in
+       write_json_lines path [ Rkd.Fleet.report_json r; summary ];
+       Format.printf "wrote fleet report to %s@." path);
+    if !deterministic && checks_failed = 0 then 0 else 1
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the rkd-fleet/1 report JSON to FILE.")
+  in
+  let soak_arg =
+    Arg.(value & flag
+         & info [ "soak" ]
+             ~doc:"Replay the identical soak at pool widths 1/4/8 and fail unless the fleet \
+                   digests are bit-identical. Combine with \\$(b,RKD_FAULTS) for a chaos \
+                   soak.")
+  in
+  let domains_arg =
+    Arg.(value & opt (some int) None & info [ "d"; "domains" ] ~docv:"N"
+           ~doc:"Domain-pool width (defaults to \\$(b,RKD_DOMAINS) or the core count).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0xf1ee7 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Master seed.")
+  in
+  let ticks_arg =
+    Arg.(value & opt int 160 & info [ "ticks" ] ~docv:"N" ~doc:"Control-loop iterations.")
+  in
+  let storm_arg =
+    Arg.(value & flag
+         & info [ "storm" ]
+             ~doc:"Drift storm: every tenant's concept changes at the same tick.")
+  in
+  let doc =
+    "drift-aware fleet control plane: per-tenant drift detection, retrain/distill candidate \
+     search and staged canary rollout; fails on digest divergence across pool widths, a \
+     breaker left open, or install thrash"
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(
+      const run $ json_arg $ soak_arg $ domains_arg $ seed_arg $ ticks_arg $ storm_arg)
+
 let disasm_cmd =
   let run path =
     match parse_program path with
@@ -951,7 +1035,8 @@ let main =
     (Cmd.info "rkdctl" ~version:"1.0.0" ~doc)
     [ verify_cmd; resources_cmd; analyze_cmd; mc_cmd; disasm_cmd; run_cmd; assemble_cmd;
       absint_fuzz_cmd;
-      decode_fuzz_cmd; chaos_cmd; net_cmd; serve_cmd; stats_cmd; trace_cmd; table1_cmd;
+      decode_fuzz_cmd; chaos_cmd; net_cmd; serve_cmd; fleet_cmd; stats_cmd; trace_cmd;
+      table1_cmd;
       table2_cmd;
       ablations_cmd; overhead_cmd; shapes_cmd ]
 

@@ -10,6 +10,7 @@ type t = {
   low : float;
   high : float;
   window : int;
+  dwell : int;
   on_degrade : unit -> unit;
   on_recover : unit -> unit;
   mutable mode : mode;
@@ -18,13 +19,15 @@ type t = {
   mutable last_rate : float;
   mutable transitions : int;
   mutable observations : int;
+  mutable last_transition_obs : int;
 }
 
-let create ?(low = 0.3) ?(high = 0.6) ?(window = 256) ?(on_degrade = ignore)
+let create ?(low = 0.3) ?(high = 0.6) ?(window = 256) ?(dwell = 0) ?(on_degrade = ignore)
     ?(on_recover = ignore) ?breaker ?(now = fun () -> 0) () =
   if not (0.0 <= low && low <= high && high <= 1.0) then
     invalid_arg "Adapt.create: need 0 <= low <= high <= 1";
   if window <= 0 then invalid_arg "Adapt.create: window must be positive";
+  if dwell < 0 then invalid_arg "Adapt.create: dwell must be non-negative";
   (* An accuracy collapse is a datapath health signal, not just a tuning
      event: when a breaker is wired in, degrading force-opens it so the
      hook falls back to the stock heuristic until probes pass. *)
@@ -39,6 +42,7 @@ let create ?(low = 0.3) ?(high = 0.6) ?(window = 256) ?(on_degrade = ignore)
   { low;
     high;
     window;
+    dwell;
     on_degrade;
     on_recover;
     mode = Normal;
@@ -46,7 +50,8 @@ let create ?(low = 0.3) ?(high = 0.6) ?(window = 256) ?(on_degrade = ignore)
     correct = 0;
     last_rate = 1.0;
     transitions = 0;
-    observations = 0 }
+    observations = 0;
+    last_transition_obs = min_int / 2 }
 
 let observe t ~correct =
   t.observations <- t.observations + 1;
@@ -57,17 +62,24 @@ let observe t ~correct =
     t.last_rate <- rate;
     t.seen <- 0;
     t.correct <- 0;
-    match t.mode with
-    | Normal when rate < t.low ->
-      t.mode <- Conservative;
+    (* The dwell floor is the anti-flap half of the hysteresis story: a
+       tenant whose accuracy hovers around a band edge cannot change mode
+       (and hence trigger install machinery) more than once per dwell
+       observations, no matter how the windows land. *)
+    let settled = t.observations - t.last_transition_obs >= t.dwell in
+    let transition mode =
+      t.mode <- mode;
       t.transitions <- t.transitions + 1;
-      Obs.Counter.incr c_transitions;
+      t.last_transition_obs <- t.observations;
+      Obs.Counter.incr c_transitions
+    in
+    match t.mode with
+    | Normal when rate < t.low && settled ->
+      transition Conservative;
       Obs.Counter.incr c_degrades;
       t.on_degrade ()
-    | Conservative when rate > t.high ->
-      t.mode <- Normal;
-      t.transitions <- t.transitions + 1;
-      Obs.Counter.incr c_transitions;
+    | Conservative when rate > t.high && settled ->
+      transition Normal;
       Obs.Counter.incr c_recoveries;
       t.on_recover ()
     | Normal | Conservative -> ()

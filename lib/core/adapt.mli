@@ -18,6 +18,7 @@ val create :
   ?low:float ->
   ?high:float ->
   ?window:int ->
+  ?dwell:int ->
   ?on_degrade:(unit -> unit) ->
   ?on_recover:(unit -> unit) ->
   ?breaker:Rmt.Breaker.t ->
@@ -26,6 +27,15 @@ val create :
   t
 (** Defaults: [low] = 0.3, [high] = 0.6, [window] = 256 observations.
     Raises [Invalid_argument] unless [0 <= low <= high <= 1].
+
+    Band crossings use strict inequalities, so a stream sitting {e exactly}
+    at [low] or [high] (including the degenerate [low = high] band) never
+    changes mode.  [dwell] (default 0, observations) is a minimum spacing
+    between transitions on top of that: after a mode change the monitor
+    refuses further transitions until [dwell] more observations have been
+    seen, so a tenant oscillating around a band edge cannot flap — the
+    fleet control plane sets it to a full window and adds its own episode
+    cooldown on top (DESIGN.md section 17).
 
     When [breaker] is given, entering [Conservative] additionally trips
     it ({!Rmt.Breaker.trip}, timestamped with [now], default constant 0)

@@ -245,13 +245,57 @@ let run_net rng ~events =
   let fallbacks () = (Net_rmt.stats net).Net_rmt.fallback_decisions in
   (breaker, digest, uncaught, recover, fallbacks)
 
+(* --- flavor 4: drift storm across a mini fleet ---------------------- *)
+
+(* A pool-free slice of the fleet control plane (DESIGN.md section 17):
+   every tenant's concept flips at the same tick while the fault plan is
+   live, so drift episodes, retrains and staged rollouts all race the
+   injected faults.  Single shard, so the scenario exposes exactly one
+   breaker to the harness. *)
+let chaos_fleet_params =
+  { Fleet.storm_params with
+    Fleet.tenants = 4;
+    shards = 1;
+    drift_start = 24;
+    bootstrap_samples = 128;
+    window_capacity = 256 }
+
+let run_drift rng ~events =
+  let fleet =
+    Fleet.create ~params:chaos_fleet_params ~seed:(Kml.Rng.int rng 1_000_000) ()
+  in
+  let digest = ref 0 and uncaught = ref 0 in
+  let sync () =
+    digest := Fleet.digest fleet;
+    uncaught := (Fleet.report fleet).Fleet.uncaught
+  in
+  (* One fleet tick drives tenants x events_per_tick datapath events, so
+     [events / 2] control-loop iterations keep the flavor's cost in line
+     with the event-driven flavors while covering the storm and the
+     post-storm rollouts. *)
+  for _ = 1 to max 48 (events / 2) do
+    Fleet.tick fleet
+  done;
+  sync ();
+  let breaker = (Fleet.breakers fleet).(0) in
+  let recover _e =
+    (* Recovery runs fault-suppressed inside the fleet ({!Rmt.Fault.without}),
+       matching the stock-heuristic degradation story: clean probes re-close
+       the breaker, then learned service resumes. *)
+    ignore (Fleet.recover ~max_ticks:1 fleet : bool);
+    sync ()
+  in
+  let fallbacks () = (Fleet.report fleet).Fleet.fallback_served in
+  (breaker, digest, uncaught, recover, fallbacks)
+
 (* --- scenario driver ------------------------------------------------ *)
 
 let flavors =
   [| ("prefetch", run_prefetch);
      ("sched", run_sched);
      ("churn", run_churn);
-     ("net", run_net) |]
+     ("net", run_net);
+     ("drift", run_drift) |]
 
 let run_scenario ~master ~events index =
   let rng = Kml.Rng.split master index in

@@ -750,3 +750,13 @@ let table3_digest rows =
     (fun acc r ->
       Ksim.Net_sim.mix (Ksim.Net_sim.mix acc r.net_digest) r.net_fallbacks)
     0 rows
+
+(* ------------------------------------------------------------------ *)
+(* Fleet soak — drift-aware continuous-learning control plane          *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_soak ?(seed = 0xf1ee7) ?faults ?(storm = false) ?(ticks = 160) () =
+  let faults = match faults with Some f -> f | None -> env_faults () in
+  let fault_specs = if faults = [] then None else Some faults in
+  let params = if storm then Fleet.storm_params else Fleet.default_params in
+  Fleet.soak ~params ?fault_specs ~pool:(Par.global ()) ~ticks ~seed ()

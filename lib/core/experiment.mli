@@ -220,3 +220,18 @@ val table3 :
 val table3_digest : table3_row list -> int
 (** Fold of per-row digests and fallback counts — the cross-width
     equality witness used by [rkdctl net] and the tests. *)
+
+val fleet_soak :
+  ?seed:int ->
+  ?faults:(Rmt.Fault.point * float) list ->
+  ?storm:bool ->
+  ?ticks:int ->
+  unit ->
+  Fleet.report
+(** Drift-aware fleet control-plane soak (DESIGN.md section 17): create a
+    {!Fleet}, run [ticks] control-loop iterations on the global pool,
+    recover, report.  [faults] defaults to the parsed [RKD_FAULTS]
+    environment plan and is re-armed per (shard, tick) task inside the
+    fleet, so faulted soaks replay bit-identically at every pool width.
+    [storm] switches to {!Fleet.storm_params} (every tenant drifts
+    simultaneously). *)

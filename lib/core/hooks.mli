@@ -16,6 +16,11 @@ val net_cc : string
     DESIGN.md section 16): the installed program picks a cwnd/pacing
     action class from the flow's ACK-time feature block. *)
 
+val fleet_predict : string
+(** Per-tenant learned decision point driven by the fleet control plane
+    (DESIGN.md section 17): one protected hook per shard, with an
+    exact-match table entry per tenant. *)
+
 val all : string list
 
 (** {2 Execution-context key layout}

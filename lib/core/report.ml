@@ -275,3 +275,51 @@ let net_checks rows =
           goodput "rmt-ml" > worse_goodput || p99 "rmt-ml" < worse_p99 );
         (Printf.sprintf "T3 %s: learned completes every flow" m, complete) ])
     mixes
+
+let print_fleet fmt (r : Fleet.report) =
+  Format.fprintf fmt "Fleet soak — drift-aware control plane (DESIGN.md section 17)@.";
+  hr fmt;
+  Format.fprintf fmt "  %-6s %9s %9s %9s %9s %9s %7s %9s@." "tenant" "accuracy" "episodes"
+    "installs" "promoted" "rollback" "defer" "attempts";
+  hr fmt;
+  Array.iter
+    (fun (v : Fleet.tenant_view) ->
+      Format.fprintf fmt "  %-6d %8.1f%% %9d %9d %9d %9d %7d %9d@." v.Fleet.t_id
+        (float_of_int v.Fleet.t_accuracy_milli /. 10.0)
+        v.Fleet.t_episodes v.Fleet.t_installs v.Fleet.t_promotions v.Fleet.t_rollbacks
+        v.Fleet.t_deferred v.Fleet.t_max_attempts)
+    r.Fleet.per_tenant;
+  hr fmt;
+  Format.fprintf fmt
+    "  %d ticks, %d events, %d episodes, %d installs, %d promotions, %d rollbacks, %d deferred@."
+    r.Fleet.ticks r.Fleet.events r.Fleet.episodes r.Fleet.installs r.Fleet.promotions
+    r.Fleet.rollbacks r.Fleet.deferred;
+  Format.fprintf fmt
+    "  breakers: %d opens, reclosed=%b; fallbacks %d; mean accuracy %.1f%%; digest %016x@."
+    r.Fleet.breaker_opens r.Fleet.breakers_reclosed r.Fleet.fallback_served
+    (float_of_int r.Fleet.mean_accuracy_milli /. 10.0)
+    r.Fleet.digest
+
+let fleet_checks ?(faulted = false) ?(attempts_bound = 2) (r : Fleet.report) =
+  let sum f = Array.fold_left (fun acc v -> acc + f v) 0 r.Fleet.per_tenant in
+  let accounted =
+    sum (fun v -> v.Fleet.t_rollbacks) = r.Fleet.rollbacks
+    && sum (fun v -> v.Fleet.t_episodes) = r.Fleet.episodes
+    && sum (fun v -> v.Fleet.t_installs) = r.Fleet.installs
+    && sum (fun v -> v.Fleet.t_promotions) = r.Fleet.promotions
+  in
+  let base =
+    [ ("fleet: no uncaught exceptions", r.Fleet.uncaught = 0);
+      ("fleet: every shard breaker re-closed", r.Fleet.breakers_reclosed);
+      ( Printf.sprintf "fleet: no install thrash (<= %d attempts/episode)" attempts_bound,
+        r.Fleet.max_attempts <= attempts_bound );
+      ("fleet: every rollback accounted in telemetry", accounted) ]
+  in
+  (* Under a chaos plan the loop degrades to stock heuristics by design,
+     so drift-recovery shape checks only gate clean runs. *)
+  if faulted then base
+  else
+    base
+    @ [ ("fleet: drift episodes detected", r.Fleet.episodes > 0);
+        ("fleet: staged rollouts promoted", r.Fleet.promotions > 0);
+        ("fleet: mean accuracy recovered", r.Fleet.mean_accuracy_milli >= 750) ]

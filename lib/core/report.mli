@@ -37,3 +37,16 @@ val net_checks : Experiment.table3_row list -> (string * bool) list
 (** Qualitative claims for the network decision point: on every mix where
     all three systems ran, the learned controller must beat the worse of
     the two stock baselines on goodput or p99 FCT, and finish every flow. *)
+
+val print_fleet : Format.formatter -> Fleet.report -> unit
+(** Per-tenant fleet-soak table plus summary (DESIGN.md section 17). *)
+
+val fleet_checks :
+  ?faulted:bool -> ?attempts_bound:int -> Fleet.report -> (string * bool) list
+(** Fleet invariants: zero uncaught exceptions, breakers re-closed, no
+    install thrash (at most [attempts_bound] rollout attempts per
+    episode, default 2), every rollback/episode/install accounted in the
+    per-tenant telemetry; clean runs additionally require detected drift
+    episodes, promoted rollouts and recovered mean accuracy.  [faulted]
+    (use when an [RKD_FAULTS] plan is active) keeps only the robustness
+    half, mirroring {!net_checks}' treatment. *)

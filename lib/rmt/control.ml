@@ -293,6 +293,22 @@ let install_canary t ?engine ?budget ?resource_budget ?model_names ?invocations
        Obs.Counter.incr c_installs;
        Ok vm)
 
+(* Forced in-place replacement for the fleet's rollback-after-grace path:
+   verify and link like {!install}, but splice the result into the
+   incumbent's Vm with {!Vm.swap} so every table entry holding a direct
+   reference to that Vm serves the new build immediately — no canary
+   window, no new Vm object.  A fresh name falls back to {!install}. *)
+let swap_program t ?budget ?resource_budget ?model_names (prog : Program.t) =
+  match Hashtbl.find_opt t.programs prog.name with
+  | None -> install t ?budget ?resource_budget ?model_names prog
+  | Some vm ->
+    (match prepare t ?budget ?resource_budget ?model_names prog with
+     | Error _ as e -> e
+     | Ok loaded ->
+       Vm.swap vm loaded;
+       Obs.Counter.incr c_installs;
+       Ok vm)
+
 let canary_status t name =
   match Hashtbl.find_opt t.programs name with
   | None -> None

@@ -48,7 +48,13 @@ val update_model_checked :
     predicts outside [lo, hi] rolls the incumbent model back and the call
     fails.  Consecutive failures arm an exponential backoff (1ms doubling
     to 1s of simulated clock) during which further updates of this name
-    are refused outright (DESIGN.md section 12). *)
+    are refused outright (DESIGN.md section 12).
+
+    Backoff state is keyed by model [name] alone: a crash-looping update
+    of tenant A's model never defers updates of tenant B's (two programs
+    sharing one model name intentionally share its backoff — it is the
+    same model).  Canary/grace state is likewise per-{!Vm}, so staged
+    rollouts of different programs cannot leak backoff either way. *)
 
 (** {2 Programs} *)
 
@@ -112,6 +118,21 @@ val install_canary :
     budget.  A first install (no incumbent) is immediate.  The returned
     Vm is the {e incumbent's}; observe the transaction with
     {!canary_status} and abort it with {!rollback_program}. *)
+
+val swap_program :
+  t ->
+  ?budget:Kml.Model_cost.budget ->
+  ?resource_budget:Resource.budget ->
+  ?model_names:string list ->
+  Program.t ->
+  (Vm.t, string) result
+(** Forced in-place replacement: verify and link exactly as {!install},
+    then splice the result into the incumbent's Vm ({!Vm.swap}) so table
+    entries holding direct Vm references serve the new build immediately —
+    no canary window, and any in-flight canary or grace slot is dropped.
+    This is the restore path for a rollout whose grace window has already
+    expired ({!rollback_program} returns [false] there); a fresh name
+    falls back to {!install}. *)
 
 val canary_status : t -> string -> [ `Idle | `Canary of int * int | `Grace of int ] option
 (** [None] for an unknown program; see {!Vm.canary_status}. *)

@@ -232,3 +232,47 @@ let create_prefetch ?(config = default_config) ?params ?(seed = 42) () =
   in
   let pfs = Array.map (function Some pf -> pf | None -> assert false) pfs in
   (t, pfs)
+
+(* --- staged rollout over shard datapaths ------------------------------ *)
+
+(* One {!Rkd.Fleet.Rollout.target} per shard: the same poll-driven
+   1 -> 25% -> all progression the fleet control plane uses, applied to a
+   serving fleet's per-shard controls.  [install] stages the candidate as
+   a canary on the shard's pinned program; [status] detects promotion by
+   physical identity of the Vm's loaded slot; [restore] takes the
+   transactional rollback path (the canary is cancelled, or the grace
+   window unwinds the promotion).  Inline-mode serving only: with domains
+   running, control commands must go through [post] instead. *)
+let rollout_targets ?invocations ?max_divergences ?grace ~dps ~program () =
+  Array.mapi
+    (fun i dp ->
+      let vm = Shard.Datapath.vm dp in
+      let before = ref (Rmt.Vm.loaded vm) in
+      { Rkd.Fleet.Rollout.label = i;
+        install =
+          (fun () ->
+            before := Rmt.Vm.loaded vm;
+            match
+              Rmt.Control.install_canary (Shard.Datapath.control dp) ?invocations
+                ?max_divergences ?grace program
+            with
+            | Ok _ -> true
+            | Error _ -> false);
+        status =
+          (fun () ->
+            match Rmt.Vm.canary_status vm with
+            | `Canary _ -> `Pending
+            | `Idle | `Grace _ ->
+              if Rmt.Vm.loaded vm != !before then `Promoted else `Failed);
+        healthy =
+          (fun () -> Rmt.Breaker.state (Shard.Datapath.breaker dp) = Rmt.Breaker.Closed);
+        restore =
+          (fun () -> Rmt.Control.rollback_program (Shard.Datapath.control dp) program.Rmt.Program.name) })
+    dps
+
+let staged_rollout ?invocations ?max_divergences ?grace ?(stage_ticks_ns = 1_000_000_000)
+    t ~dps ~program () =
+  let targets = rollout_targets ?invocations ?max_divergences ?grace ~dps ~program () in
+  Rkd.Fleet.Rollout.start ~targets
+    ~stages:(Rkd.Fleet.Rollout.stage_plan (Array.length dps))
+    ~now:(now_ns t) ~stage_ticks:stage_ticks_ns

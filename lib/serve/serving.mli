@@ -110,3 +110,39 @@ val post : t -> shard:int -> (unit -> unit) -> unit
 
 val post_tenant : t -> tenant:int -> (unit -> unit) -> unit
 (** {!post} addressed by tenant. *)
+
+(** {2 Staged rollout}
+
+    The fleet control plane's staged canary progression ({!Rkd.Fleet.Rollout},
+    DESIGN.md section 17) applied to a serving fleet: 1 shard, then 25%,
+    then all, each stage shadow-running the candidate under its
+    divergence budget and gated on the shard breakers. *)
+
+val rollout_targets :
+  ?invocations:int ->
+  ?max_divergences:int ->
+  ?grace:int ->
+  dps:Shard.Datapath.dp array ->
+  program:Rmt.Program.t ->
+  unit ->
+  Rkd.Fleet.Rollout.target array
+(** One rollout target per shard datapath.  [program] must carry the name
+    of a program already installed on the shards (the standard datapath's
+    is {!Shard.Datapath.program_name}); its canary shadow-runs against
+    that incumbent. *)
+
+val staged_rollout :
+  ?invocations:int ->
+  ?max_divergences:int ->
+  ?grace:int ->
+  ?stage_ticks_ns:int ->
+  t ->
+  dps:Shard.Datapath.dp array ->
+  program:Rmt.Program.t ->
+  unit ->
+  [ `Started of Rkd.Fleet.Rollout.t | `Unhealthy | `Failed of int ]
+(** Begin a staged rollout of [program] across [dps] on the serving
+    clock.  Drive it with {!Rkd.Fleet.Rollout.step} between inline
+    drains, passing [now_ns t]; stages time out after [stage_ticks_ns]
+    (default 1 s).  Inline mode only — with consumer domains running,
+    route installs through {!post}. *)

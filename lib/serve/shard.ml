@@ -207,6 +207,7 @@ module Datapath = struct
     control : Rmt.Control.t;
     table : Rmt.Table.t;
     vm : Rmt.Vm.t;
+    breaker : Rmt.Breaker.t;
     batch : Rmt.Batch.t;
     ctxts : (int, Rmt.Ctxt.t) Hashtbl.t; (* tenant -> pinned slab *)
     now_cell : int array; (* drain timestamp; the control clock reads it *)
@@ -231,14 +232,15 @@ module Datapath = struct
         ~match_keys:[| Rkd.Hooks.key_pid |] ~default:(Rmt.Table.Run vm)
     in
     Rmt.Control.attach control ~hook table;
-    ignore
-      (Rmt.Control.protect control ~hook ~programs:[ program_name ]
-         ~fallback:(fun _ -> fallback_marker) ()
-        : Rmt.Breaker.t);
+    let breaker =
+      Rmt.Control.protect control ~hook ~programs:[ program_name ]
+        ~fallback:(fun _ -> fallback_marker) ()
+    in
     let d =
       { control;
         table;
         vm;
+        breaker;
         batch = Rmt.Batch.create ~capacity:max_batch;
         ctxts = Hashtbl.create 64;
         now_cell = Array.make 1 0;
@@ -325,6 +327,7 @@ module Datapath = struct
   let control d = d.control
   let table d = d.table
   let vm d = d.vm
+  let breaker d = d.breaker
 
   let sink d =
     { run = (fun ~n ~tenants ~pages ~now -> run d ~n ~tenants ~pages ~now);

@@ -89,6 +89,10 @@ module Datapath : sig
   val control : dp -> Rmt.Control.t
   val table : dp -> Rmt.Table.t
   val vm : dp -> Rmt.Vm.t
+
+  (** The shard's circuit breaker; open = the shard is serving
+      {!fallback_marker} and a staged rollout must not enter it. *)
+  val breaker : dp -> Rmt.Breaker.t
   val digest : dp -> int
   (** Xor over tenants of their rolling decision digests: identical for
       any shard count and any batch boundaries (per-tenant FIFO is

@@ -24,4 +24,5 @@ let () =
          Test_failsafe.suite;
          Test_batch.suite;
          Test_serve.suite;
+         Test_fleet.suite;
          Test_analysis.suite ])
